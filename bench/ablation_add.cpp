@@ -1,0 +1,86 @@
+// Ablation for §4.1 / DESIGN.md: how many FastTwoSum renormalization passes
+// does the addition sweep need? renorms=0 matches the paper's gate counts
+// exactly (26 gates for 4-term) but the exhaustive small-p checker proves it
+// INCORRECT for n=3 (rare 1-bit nonoverlap violations); renorms=1 is the
+// verified shipping configuration. This bench quantifies what that
+// correctness costs.
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "harness.hpp"
+#include "mf/multifloats.hpp"
+
+using namespace mf;
+
+namespace {
+
+template <int N, int RENORMS>
+MultiFloat<double, N> add_variant(const MultiFloat<double, N>& x,
+                                  const MultiFloat<double, N>& y) noexcept {
+    double v[2 * N];
+    {
+        const auto [s, e] = two_sum(x.limb[0], y.limb[0]);
+        v[0] = s;
+        double carry = e;
+        for (int i = 1; i < N; ++i) {
+            const auto [si, ei] = two_sum(x.limb[i], y.limb[i]);
+            v[2 * i - 1] = si;
+            v[2 * i] = carry;
+            carry = ei;
+        }
+        v[2 * N - 1] = carry;
+    }
+    detail::accumulate<N, RENORMS>(v);
+    MultiFloat<double, N> z;
+    for (int i = 0; i < N; ++i) z.limb[i] = v[i];
+    return z;
+}
+
+template <int N>
+std::vector<MultiFloat<double, N>> operands(std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<MultiFloat<double, N>> v;
+    for (int i = 0; i < 1024; ++i) {
+        MultiFloat<double, N> x(1.0 + static_cast<double>(rng() >> 12) * 0x1p-52);
+        for (int k = 1; k < N; ++k) {
+            x = x + std::ldexp(1.0 + static_cast<double>(rng() >> 12) * 0x1p-52,
+                               -55 * k);
+        }
+        v.push_back(x);
+    }
+    return v;
+}
+
+template <int N>
+void run() {
+    const auto xs = operands<N>(1);
+    const auto ys = operands<N>(2);
+    std::vector<MultiFloat<double, N>> zs(1024);
+    const double t0 = bench::best_time([&] {
+        for (std::size_t i = 0; i < 1024; ++i) zs[i] = add_variant<N, 0>(xs[i], ys[i]);
+    });
+    const double t1 = bench::best_time([&] {
+        for (std::size_t i = 0; i < 1024; ++i) zs[i] = add_variant<N, 1>(xs[i], ys[i]);
+    });
+    const double t2 = bench::best_time([&] {
+        for (std::size_t i = 0; i < 1024; ++i) zs[i] = add_variant<N, 2>(xs[i], ys[i]);
+    });
+    std::printf("add N=%d [ns/op]: renorms=0 %6.2f (UNSOUND, paper-size)  "
+                "renorms=1 %6.2f (shipped)  renorms=2 %6.2f\n",
+                N, t0 / 1024 * 1e9, t1 / 1024 * 1e9, t2 / 1024 * 1e9);
+    std::printf("  correctness cost of renorms=1 over renorms=0: %.1f%%\n",
+                (t1 / t0 - 1.0) * 100.0);
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Ablation: renormalization passes in the addition sweep\n"
+                "(renorms=0 reproduces the paper's exact gate counts but fails\n"
+                " exhaustive verification; see tests/fpan_verify_test.cpp)\n\n");
+    run<3>();
+    run<4>();
+    return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 11 runs the kernels on an AMD RDNA3 GPU with T = float base type
+// (that architecture has no double units). No GPU exists in this container
+// (documented substitution, DESIGN.md §2); the closest executable experiment
+// is the identical MultiFloat<float, N> code path -- the same networks at
+// p = 24 -- through the data-parallel CPU kernels. The figure's message that
+// survives the substitution: the branch-free algorithms run unmodified on a
+// float-only substrate, and throughput decays gracefully with N rather than
+// falling off a cliff.
+
+#include <cstdio>
+
+#include "paper_reference.hpp"
+#include "suite.hpp"
+
+using namespace mf::bench;
+
+int main(int argc, char** argv) {
+    const SuiteOptions opts = parse_options(argc, argv);
+    std::printf("Figure 11 (RDNA3 GPU) substitution: MultiFloat<float, N> on CPU.\n");
+    const Table t = run_float_proxy_table(opts);
+    t.print();
+
+    std::printf("\nPaper reference: AMD RDNA3 (RX 7900 XTX), Fig. 11 [GOp/s]\n");
+    std::printf("%-8s%10s%10s%10s%10s\n", "Kernel", "1-term", "2-term", "3-term", "4-term");
+    const char* names[4] = {"AXPY", "DOT", "GEMV", "GEMM"};
+    for (int r = 0; r < 4; ++r) {
+        std::printf("%-8s", names[r]);
+        for (int c = 0; c < 4; ++c) {
+            std::printf("%10.2f", paper::kRdna3[static_cast<std::size_t>(r)]
+                                                [static_cast<std::size_t>(c)]);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nShape check: throughput decay from 1-term to 4-term\n");
+    std::printf("%-8s%12s%14s\n", "kernel", "measured", "paper(RDNA3)");
+    for (std::size_t r = 0; r < 4; ++r) {
+        const double ours = t.cells[r][0].gops > 0 && t.cells[r][3].available
+                                ? t.cells[r][0].gops / t.cells[r][3].gops
+                                : 0.0;
+        const double ref = paper::kRdna3[r][0] / paper::kRdna3[r][3];
+        std::printf("%-8s%11.1fx%13.1fx\n", names[r], ours, ref);
+    }
+    return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates the paper's GEMV tables (Figure 9 on this machine's
+// architecture; the same binary run on an Apple M3 regenerates the Figure 10
+// row). Flags: -v (per-measurement progress), --quick (shorter runs).
+
+#include "suite.hpp"
+
+int main(int argc, char** argv) {
+    return mf::bench::fig9_main(mf::bench::Kernel::Gemv, argc, argv);
+}

@@ -1,0 +1,81 @@
+#include "harness.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace mf::bench {
+
+std::size_t l3_cache_bytes() {
+    std::ifstream f("/sys/devices/system/cpu/cpu0/cache/index3/size");
+    if (f) {
+        std::string s;
+        f >> s;
+        if (!s.empty()) {
+            const auto suffix = s.back();
+            const auto num = std::stoull(s);
+            if (suffix == 'K') return num * 1024;
+            if (suffix == 'M') return num * 1024 * 1024;
+            return num;
+        }
+    }
+    return 16u * 1024 * 1024;
+}
+
+std::string cpu_name() {
+    std::ifstream f("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(f, line)) {
+        if (line.rfind("model name", 0) == 0) {
+            const auto colon = line.find(':');
+            if (colon != std::string::npos) {
+                std::string name = line.substr(colon + 1);
+                const auto start = name.find_first_not_of(' ');
+                return start == std::string::npos ? name : name.substr(start);
+            }
+        }
+    }
+    return "unknown CPU";
+}
+
+Table make_table(std::string title, std::vector<std::string> rows,
+                 std::vector<std::string> columns) {
+    Table t;
+    t.title = std::move(title);
+    t.rows = std::move(rows);
+    t.columns = std::move(columns);
+    t.cells.assign(t.rows.size(), std::vector<Cell>(t.columns.size()));
+    return t;
+}
+
+void Table::print(std::FILE* out) const {
+    std::fprintf(out, "\n%s\n", title.c_str());
+    std::size_t w = 12;
+    for (const auto& r : rows) w = std::max(w, r.size() + 2);
+    std::fprintf(out, "%-*s", static_cast<int>(w), "Library");
+    for (const auto& c : columns) std::fprintf(out, "%10s", c.c_str());
+    std::fprintf(out, "\n");
+    for (std::size_t i = 0; i < w + 10 * columns.size(); ++i) std::fputc('-', out);
+    std::fputc('\n', out);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        std::fprintf(out, "%-*s", static_cast<int>(w), rows[r].c_str());
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            if (cells[r][c].available) {
+                std::fprintf(out, "%10.3f", cells[r][c].gops);
+            } else {
+                std::fprintf(out, "%10s", "N/A");
+            }
+        }
+        std::fputc('\n', out);
+    }
+}
+
+double Table::best_excluding(std::size_t row, std::size_t col) const {
+    double best = 0.0;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (r == row) continue;
+        if (cells[r][col].available) best = std::max(best, cells[r][col].gops);
+    }
+    return best;
+}
+
+}  // namespace mf::bench

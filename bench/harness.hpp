@@ -1,0 +1,89 @@
+#pragma once
+// Shared benchmark harness for the paper's evaluation (§5): timing,
+// throughput accounting, workload sizing, and table rendering.
+//
+// Conventions follow the paper: one "operation" is one multiplication
+// followed by one addition, so AXPY/DOT perform n ops, GEMV n^2, GEMM n^3.
+// Throughput is reported in billions of extended-precision operations per
+// second (GOp/s).
+//
+// Deviation from the paper's methodology (single-core container): problem
+// sizes are chosen per number type so one measurement takes a sane wall time
+// -- capped above by the L3-resident sizes the paper uses, and below so slow
+// software-FPU baselines still finish. All kernels are compute-bound at
+// these sizes, so GOp/s is insensitive to the exact n. See EXPERIMENTS.md.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace mf::bench {
+
+/// Wall-clock seconds of invoking f() once.
+template <typename F>
+double time_once(F&& f) {
+    const auto t0 = std::chrono::steady_clock::now();
+    f();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Repeat f() until at least `min_time` seconds have elapsed in total, then
+/// return the best per-iteration time (paper reports peak throughput).
+template <typename F>
+double best_time(F&& f, double min_time = 0.15, int min_reps = 3) {
+    double best = 1e100;
+    double total = 0.0;
+    int reps = 0;
+    while (total < min_time || reps < min_reps) {
+        const double t = time_once(f);
+        best = std::min(best, std::max(t, 1e-9));
+        total += t;
+        ++reps;
+        if (reps > 10000) break;
+    }
+    return best;
+}
+
+/// L3 cache size in bytes (sysfs, fallback 16 MiB).
+std::size_t l3_cache_bytes();
+
+/// One table cell: GOp/s or N/A.
+struct Cell {
+    bool available = false;
+    double gops = 0.0;
+};
+
+/// A paper-style table: rows = libraries, columns = precisions.
+struct Table {
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<std::string> rows;
+    std::vector<std::vector<Cell>> cells;  // [row][col]
+
+    void set(std::size_t r, std::size_t c, double gops) {
+        cells[r][c] = {true, gops};
+    }
+    void print(std::FILE* out = stdout) const;
+    /// Best available value in a column excluding the given row.
+    [[nodiscard]] double best_excluding(std::size_t row, std::size_t col) const;
+};
+
+Table make_table(std::string title, std::vector<std::string> rows,
+                 std::vector<std::string> columns);
+
+/// Short CPU description for table headers.
+std::string cpu_name();
+
+/// Deterministic fill value in [1, 2): benign magnitudes so every library
+/// runs its common path (matching the paper's dense BLAS workloads).
+inline double fill_value(std::mt19937_64& rng) {
+    return 1.0 + static_cast<double>(rng() >> 12) * 0x1p-52;
+}
+
+}  // namespace mf::bench

@@ -1,0 +1,87 @@
+// Regenerates the paper's Figure 1: the anatomy of a floating-point
+// expansion. A high-precision constant C is decomposed into machine-precision
+// terms by round-and-subtract (Eq. 6); we show the limbs, the exponent gap
+// between them, the nonoverlap invariant (Eq. 8), and the "extra implicit
+// bit" the sign provides when a limb rounds up instead of down.
+
+#include <cmath>
+#include <cstdio>
+
+#include "mf/multifloats.hpp"
+
+using namespace mf;
+
+namespace {
+
+template <int N>
+void dissect(const char* label, const MultiFloat<double, N>& x) {
+    std::printf("%s = %s\n", label, to_string(x).c_str());
+    for (int i = 0; i < N; ++i) {
+        const double l = x.limb[i];
+        if (l == 0.0) {
+            std::printf("  limb[%d] = 0\n", i);
+            continue;
+        }
+        std::printf("  limb[%d] = %+.17e   exponent %4d", i, l, std::ilogb(l));
+        if (i > 0 && x.limb[i - 1] != 0.0) {
+            const int gap = std::ilogb(x.limb[i - 1]) - std::ilogb(l);
+            std::printf("   gap %3d bits (>= 53 required)", gap);
+            if (std::signbit(l) != std::signbit(x.limb[i - 1])) {
+                std::printf("  <- sign differs: previous limb rounded UP;\n"
+                            "     this limb stores the complement (Figure 1's"
+                            " extra implicit bit)");
+            }
+        }
+        std::printf("\n");
+    }
+    std::printf("  strictly nonoverlapping (Eq. 8): %s\n\n",
+                is_nonoverlapping(x) ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Figure 1: decomposing high-precision constants into "
+                "nonoverlapping expansions\n\n");
+
+    // pi: each limb extends the previous by 53+ bits.
+    const auto pi = from_string<double, 4>(
+        "3.14159265358979323846264338327950288419716939937510582097494459");
+    dissect("pi", pi);
+
+    // A constant engineered so the leading limb rounds UP: the second limb
+    // comes out negative and its sign bit buys one extra bit of precision
+    // (the final panel of Figure 1).
+    const auto near_tie = from_string<double, 3>(
+        "1.00000000000000011102230246251565404236316680908203125"
+        "000000000000000000001");
+    dissect("near-tie constant", near_tie);
+
+    // The naive OVERLAPPING decomposition of the same constant wastes bits:
+    // chop the mantissa without rounding, and adjacent terms share bit
+    // positions (the middle panel of Figure 1).
+    std::printf("overlapping (chopped) decomposition of pi, for contrast:\n");
+    double rest = 3.14159265358979323846;
+    double chopped[3];
+    for (int i = 0; i < 3; ++i) {
+        // Truncate to 40 bits instead of rounding to 53: deliberately wasteful.
+        const int e = std::ilogb(rest);
+        chopped[i] = std::ldexp(std::trunc(std::ldexp(rest, 40 - 1 - e)), e - 40 + 1);
+        rest -= chopped[i];
+    }
+    for (int i = 0; i < 3; ++i) {
+        std::printf("  term[%d] = %+.17e   exponent %4d%s\n", i, chopped[i],
+                    std::ilogb(chopped[i]),
+                    i > 0 ? "   gap 40 bits < 53: bits redundantly covered" : "");
+    }
+    MultiFloat<double, 3> overlapping({chopped[0], chopped[1], chopped[2]});
+    std::printf("  strictly nonoverlapping (Eq. 8): %s\n",
+                is_nonoverlapping(overlapping) ? "yes" : "NO (that's the point)");
+
+    // Effective precision: N*53 + N - 1 bits (Eq. 7).
+    std::printf("\neffective precision of the 4-term expansion: %d bits "
+                "(4*53 + 3), ~%d decimal digits\n",
+                MultiFloat<double, 4>::precision,
+                std::numeric_limits<MultiFloat<double, 4>>::digits10);
+    return 0;
+}

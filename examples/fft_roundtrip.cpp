@@ -1,0 +1,110 @@
+// Radix-2 FFT at extended precision: forward transform then inverse, and the
+// round-trip error tells you how much precision the twiddle arithmetic ate.
+// Spectral methods iterate FFTs thousands of times, so this error compounds
+// -- one of the places the paper's "fast extended precision" pays off.
+//
+// The SAME templated FFT runs over std::complex<double> and over
+// mf::Complex<double, 3> (sextuple precision). Twiddles are exp(-2 pi i k/len)
+// with len a power of two, so k/len is an exact dyadic rational: the extended
+// run feeds sin/cos an exact angle at full working precision.
+
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "mf/multifloats.hpp"
+
+namespace {
+
+std::complex<double> make_twiddle(int sign, double frac, std::complex<double>*) {
+    const double ang = sign * 2.0 * 3.141592653589793 * frac;
+    return {std::cos(ang), std::sin(ang)};
+}
+
+template <int N>
+mf::Complex<double, N> make_twiddle(int sign, double frac, mf::Complex<double, N>*) {
+    // frac = k / len is exact; the angle is formed at full working precision.
+    const auto ang = mf::mul(mf::ldexp(mf::pi<double, N>(), 1),
+                             mf::MultiFloat<double, N>(sign * frac));
+    return {mf::cos(ang), mf::sin(ang)};
+}
+
+/// In-place iterative radix-2 DIT FFT; sign = -1 forward, +1 inverse.
+template <typename C>
+void fft(std::vector<C>& a, int sign) {
+    const std::size_t n = a.size();
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(a[i], a[j]);
+    }
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        for (std::size_t i = 0; i < n; i += len) {
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const double frac =
+                    static_cast<double>(k) / static_cast<double>(len);  // exact
+                const C w = make_twiddle(sign, frac, static_cast<C*>(nullptr));
+                const C u = a[i + k];
+                const C v = a[i + k + len / 2] * w;
+                a[i + k] = u + v;
+                a[i + k + len / 2] = u - v;
+            }
+        }
+    }
+}
+
+}  // namespace
+
+int main() {
+    const std::size_t n = 256;
+    std::mt19937_64 rng(7);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    std::vector<double> re(n);
+    std::vector<double> im(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        re[i] = u(rng);
+        im[i] = u(rng);
+    }
+
+    // --- double ---------------------------------------------------------
+    std::vector<std::complex<double>> zd(n);
+    for (std::size_t i = 0; i < n; ++i) zd[i] = {re[i], im[i]};
+    fft(zd, -1);
+    fft(zd, +1);
+    double worst_d = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto back = zd[i] / static_cast<double>(n);
+        worst_d = std::max(worst_d, std::abs(back.real() - re[i]));
+        worst_d = std::max(worst_d, std::abs(back.imag() - im[i]));
+    }
+
+    // --- Float64x3 (sextuple precision) ----------------------------------
+    using C3 = mf::Complex<double, 3>;
+    std::vector<C3> z3(n);
+    for (std::size_t i = 0; i < n; ++i) z3[i] = C3(re[i], im[i]);
+    fft(z3, -1);
+    fft(z3, +1);
+    const auto inv_n = mf::recip(mf::MultiFloat<double, 3>(static_cast<double>(n)));
+    // Measure the residual IN the extended domain: inputs are exact there.
+    double worst_3 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto dr = mf::sub(mf::mul(z3[i].re, inv_n),
+                                mf::MultiFloat<double, 3>(re[i]));
+        const auto di = mf::sub(mf::mul(z3[i].im, inv_n),
+                                mf::MultiFloat<double, 3>(im[i]));
+        worst_3 = std::max(worst_3, std::abs(dr.limb[0]));
+        worst_3 = std::max(worst_3, std::abs(di.limb[0]));
+    }
+
+    std::printf("FFT -> IFFT round trip, n = %zu, worst componentwise residual:\n", n);
+    std::printf("  std::complex<double>     : %.3e\n", worst_d);
+    std::printf("  mf::Complex<double, 3>   : %.3e   (~%d extra decimal digits)\n",
+                worst_3, static_cast<int>(std::log10(worst_d / worst_3)));
+    std::printf("\nEvery twiddle, butterfly, and normalization above ran through the\n"
+                "branch-free expansion kernels; the residual sits at the sextuple-\n"
+                "precision noise floor instead of double's.\n");
+    return worst_3 < worst_d * 1e-20 ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+// Solving a notoriously ill-conditioned linear system: the n x n Hilbert
+// matrix (condition number ~ e^{3.5 n}). Gaussian elimination in double
+// collapses around n = 12-13; the same elimination code templated on
+// Float64x4 keeps solving far beyond. This is the paper's §1 motivation
+// ("extended precision rarely employed because it is orders of magnitude
+// slower") made concrete: the kernel code is IDENTICAL, only the number type
+// changes.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "mf/multifloats.hpp"
+
+namespace {
+
+// abs for the scalar instantiation (expansions find mf::abs via ADL).
+double abs(double v) { return std::fabs(v); }
+
+/// Dense LU with partial pivoting; returns false on a vanishing pivot.
+template <typename V>
+bool solve(std::vector<V> a, std::vector<V> b, int n, std::vector<V>& x) {
+    for (int k = 0; k < n; ++k) {
+        // Partial pivoting with exact comparisons.
+        int piv = k;
+        for (int i = k + 1; i < n; ++i) {
+            if (abs(a[i * n + k]) > abs(a[piv * n + k])) piv = i;
+        }
+        if (a[piv * n + k] == V(0.0)) return false;
+        if (piv != k) {
+            for (int j = 0; j < n; ++j) std::swap(a[k * n + j], a[piv * n + j]);
+            std::swap(b[k], b[piv]);
+        }
+        const V inv = V(1.0) / a[k * n + k];
+        for (int i = k + 1; i < n; ++i) {
+            const V f = a[i * n + k] * inv;
+            for (int j = k; j < n; ++j) a[i * n + j] -= f * a[k * n + j];
+            b[i] -= f * b[k];
+        }
+    }
+    x.assign(static_cast<std::size_t>(n), V(0.0));
+    for (int i = n - 1; i >= 0; --i) {
+        V acc = b[i];
+        for (int j = i + 1; j < n; ++j) acc -= a[i * n + j] * x[j];
+        x[i] = acc / a[i * n + i];
+    }
+    return true;
+}
+
+/// Hilbert system H x = b with b = H * ones, so the exact solution is all
+/// ones. Entries 1/(i+j+1) are formed at the working precision.
+template <typename V>
+double solve_hilbert(int n) {
+    std::vector<V> h;
+    h.reserve(static_cast<std::size_t>(n) * n);
+    std::vector<V> b(static_cast<std::size_t>(n), V(0.0));
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            const V entry = V(1.0) / V(static_cast<double>(i + j + 1));
+            h.push_back(entry);
+            b[i] += entry;
+        }
+    }
+    std::vector<V> x;
+    if (!solve<V>(h, b, n, x)) return std::numeric_limits<double>::infinity();
+    double worst = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double xi;
+        if constexpr (std::is_same_v<V, double>) {
+            xi = x[static_cast<std::size_t>(i)];
+        } else {
+            xi = x[static_cast<std::size_t>(i)].to_float();
+        }
+        worst = std::max(worst, std::fabs(xi - 1.0));
+    }
+    return worst;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Hilbert system H x = H*ones: worst |x_i - 1| by working precision\n");
+    std::printf("(cond(H_n) ~ e^{3.5n}: n=13 is ~1e18, beyond double entirely)\n\n");
+    std::printf("%4s %14s %14s %14s\n", "n", "double", "Float64x2", "Float64x4");
+    for (int n : {6, 8, 10, 12, 14, 16, 20, 24}) {
+        const double e1 = solve_hilbert<double>(n);
+        const double e2 = solve_hilbert<mf::Float64x2>(n);
+        const double e4 = solve_hilbert<mf::Float64x4>(n);
+        std::printf("%4d %14.2e %14.2e %14.2e\n", n, e1, e2, e4);
+    }
+    std::printf("\nSame elimination code for all three columns; only the number type\n"
+                "changed. Branch-free arithmetic keeps the extended columns fast.\n");
+    return 0;
+}

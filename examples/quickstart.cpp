@@ -1,0 +1,49 @@
+// Quickstart: the five-minute tour of the public API.
+//
+//   $ cmake --build build --target quickstart && ./build/examples/quickstart
+
+#include <iostream>
+
+#include "mf/multifloats.hpp"
+
+int main() {
+    using mf::Float64x4;  // MultiFloat<double, 4>: ~octuple precision (215 bits)
+
+    // Construction: machine numbers embed exactly; decimal strings are
+    // parsed with correct rounding at full extended precision.
+    const Float64x4 a(2.0);
+    const Float64x4 pi = mf::from_string<double, 4>(
+        "3.14159265358979323846264338327950288419716939937510582097494459");
+
+    // Arithmetic: +, -, *, /, sqrt -- all branch-free FPAN algorithms.
+    const Float64x4 root2 = mf::sqrt(a);
+    const Float64x4 circle = pi * root2 * root2;  // pi * (sqrt 2)^2 == 2 pi
+
+    std::cout << "sqrt(2)       = " << root2 << '\n';
+    std::cout << "pi*sqrt(2)^2  = " << circle << '\n';
+    std::cout << "2*pi          = " << pi * Float64x4(2.0) << '\n';
+
+    // The representation: a nonoverlapping expansion of four doubles whose
+    // exact sum is the value. Each limb picks up where the previous one's
+    // precision ends.
+    std::cout << "\nlimbs of sqrt(2):\n";
+    for (int i = 0; i < 4; ++i) {
+        std::cout << "  limb[" << i << "] = " << root2.limb[i] << '\n';
+    }
+
+    // Precision: (2^0.5)^2 - 2 at octuple precision.
+    const Float64x4 err = root2 * root2 - a;
+    std::cout << "\nsqrt(2)^2 - 2 = " << err << "  (double would give "
+              << (std::sqrt(2.0) * std::sqrt(2.0) - 2.0) << ")\n";
+
+    // Exact comparisons, even between different representations.
+    const Float64x4 third = Float64x4(1.0) / Float64x4(3.0);
+    std::cout << "\n1/3 * 3 == 1 ? " << std::boolalpha
+              << (third * Float64x4(3.0) == Float64x4(1.0)) << '\n';
+    std::cout << "1/3 < 0.3334 ? " << (third < Float64x4(0.3334)) << '\n';
+
+    // Interop with machine precision.
+    const double approx = root2.to_float();
+    std::cout << "\nto_float(sqrt 2) = " << approx << " (nearest double)\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+// Rump's infamous expression (1988):
+//
+//   f(a, b) = 333.75 b^6 + a^2 (11 a^2 b^2 - b^6 - 121 b^4 - 2) + 5.5 b^8
+//             + a / (2b),   at a = 77617, b = 33096.
+//
+// The true value is -0.827396..., but the computation needs ~122 bits to
+// resolve the cancellation: double returns garbage, and quadruple-class
+// precision (Float64x2, 107 bits) famously returns +1.172603... -- all
+// digits plausible, sign WRONG. Octuple precision (Float64x4) resolves it.
+
+#include <cstdio>
+
+#include "mf/multifloats.hpp"
+
+namespace {
+
+template <typename V>
+V rump(const V& a, const V& b) {
+    const V a2 = a * a;
+    const V b2 = b * b;
+    const V b4 = b2 * b2;
+    const V b6 = b4 * b2;
+    const V b8 = b4 * b4;
+    return V(333.75) * b6 + a2 * (V(11.0) * a2 * b2 - b6 - V(121.0) * b4 - V(2.0)) +
+           V(5.5) * b8 + a / (V(2.0) * b);
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Rump's expression at (77617, 33096): the classic sign-flip bug\n\n");
+
+    const double d = rump<double>(77617.0, 33096.0);
+    std::printf("double:     %.17g   <- catastrophic cancellation, garbage\n", d);
+
+    const auto q = rump<mf::Float64x2>(mf::Float64x2(77617.0), mf::Float64x2(33096.0));
+    std::printf("Float64x2:  %s   <- the FAMOUS wrong answer: every digit\n"
+                "            looks plausible and the sign is flipped (107 bits\n"
+                "            is just short of the ~122 the cancellation needs)\n",
+                mf::to_string(q, 20).c_str());
+
+    const auto o = rump<mf::Float64x4>(mf::Float64x4(77617.0), mf::Float64x4(33096.0));
+    std::printf("Float64x4:  %s   <- correct\n", mf::to_string(o, 40).c_str());
+
+    std::printf("reference:  -8.2739605994682136814116509547981629e-1\n");
+
+    std::printf("\nsign(f) via double:    %+d\n", d > 0 ? 1 : -1);
+    std::printf("sign(f) via Float64x2: %+d   (wrong: needs more bits)\n",
+                q > mf::Float64x2(0.0) ? 1 : -1);
+    std::printf("sign(f) via Float64x4: %+d   (correct)\n",
+                o > mf::Float64x4(0.0) ? 1 : -1);
+    std::printf("\nMoral (paper §1): 'just use more precision' only works if the\n"
+                "extended precision is cheap enough to use everywhere -- which is\n"
+                "what branch-free expansion arithmetic provides.\n");
+    return 0;
+}

@@ -1,0 +1,198 @@
+#pragma once
+// CAMPARY-style "certified" floating-point expansion arithmetic after
+// Joldes, Muller, Popescu & Tucker (ICMS 2016), reimplemented as the paper's
+// CAMPARY baseline (the CUDA library is not available offline; see
+// DESIGN.md §2). The paper benchmarks CAMPARY's *certified* algorithms --
+// provably correct but branching -- and this implementation mirrors that
+// design point: magnitude merges, VecSum distillation, and the branching
+// VecSumErrBranch renormalization.
+//
+// Accuracy is validated against the BigFloat oracle in
+// tests/baselines_test.cpp.
+
+#include <algorithm>
+#include <cmath>
+
+#include "../../mf/eft.hpp"
+
+namespace mf::campary {
+
+template <int N>
+struct Expansion {
+    double x[N] = {};
+
+    constexpr Expansion() = default;
+    constexpr Expansion(double v) { x[0] = v; }
+
+    explicit constexpr operator double() const { return x[0]; }
+};
+
+namespace detail {
+
+/// VecSum (Ogita-Rump-Oishi distillation): bottom-up TwoSum chain.
+template <int K>
+inline void vec_sum(double (&f)[K]) {
+    for (int i = K - 2; i >= 0; --i) {
+        const auto [s, e] = two_sum(f[i], f[i + 1]);
+        f[i] = s;
+        f[i + 1] = e;
+    }
+}
+
+/// VecSumErrBranch: branching compaction of a distilled sequence into at
+/// most M nonzero limbs (transcription of the CAMPARY kernel).
+template <int K, int M>
+inline void vec_sum_err_branch(const double (&f)[K], double (&r)[M]) {
+    for (int i = 0; i < M; ++i) r[i] = 0.0;
+    double e = f[0];
+    int j = 0;
+    for (int i = 0; i < K - 1; ++i) {
+        const auto [ri, e2] = fast_two_sum(e, f[i + 1]);
+        if (e2 != 0.0) {
+            if (j >= M - 1) {
+                r[j] = ri;
+                return;
+            }
+            r[j++] = ri;
+            e = e2;
+        } else {
+            e = ri;
+        }
+    }
+    if (e != 0.0 && j < M) r[j] = e;
+}
+
+/// Merge two magnitude-sorted arrays into one (branch per element).
+template <int A, int B>
+inline void merge_by_magnitude(const double (&a)[A], const double (&b)[B],
+                               double (&out)[A + B]) {
+    int i = 0;
+    int j = 0;
+    int k = 0;
+    while (i < A && j < B) {
+        out[k++] = std::fabs(a[i]) >= std::fabs(b[j]) ? a[i++] : b[j++];
+    }
+    while (i < A) out[k++] = a[i++];
+    while (j < B) out[k++] = b[j++];
+}
+
+}  // namespace detail
+
+/// Certified addition: merge + VecSum + branching renormalization.
+/// (One-term expansions degrade to native arithmetic, as in CAMPARY.)
+template <int N>
+inline Expansion<N> operator+(const Expansion<N>& a, const Expansion<N>& b) {
+    if constexpr (N == 1) {
+        return Expansion<1>(a.x[0] + b.x[0]);
+    } else {
+    double f[2 * N];
+    detail::merge_by_magnitude(a.x, b.x, f);
+    detail::vec_sum(f);
+    // A second distillation pass tightens partially overlapping errors
+    // before compaction (CAMPARY applies VecSum repeatedly in renormalize).
+    detail::vec_sum(f);
+    Expansion<N> r;
+    detail::vec_sum_err_branch(f, r.x);
+    return r;
+    }
+}
+
+template <int N>
+inline Expansion<N> operator-(const Expansion<N>& a) {
+    Expansion<N> r;
+    for (int i = 0; i < N; ++i) r.x[i] = -a.x[i];
+    return r;
+}
+
+template <int N>
+inline Expansion<N> operator-(const Expansion<N>& a, const Expansion<N>& b) {
+    return a + (-b);
+}
+
+/// Certified multiplication: all partial products down to the N-th order,
+/// sorted by magnitude (branch-heavy), distilled and renormalized.
+template <int N>
+inline Expansion<N> operator*(const Expansion<N>& a, const Expansion<N>& b) {
+    if constexpr (N == 1) {
+        return Expansion<1>(a.x[0] * b.x[0]);
+    } else {
+    // Terms kept: TwoProd pairs for i+j <= N-2 (value + error), plain
+    // products on the boundary i+j == N-1.
+    constexpr int kPairs = (N * (N - 1)) / 2;   // i+j <= N-2
+    constexpr int kBag = 2 * kPairs + N;
+    double bag[kBag];
+    int m = 0;
+    for (int i = 0; i < N; ++i) {
+        for (int j = 0; i + j <= N - 2; ++j) {
+            const auto [p, e] = two_prod(a.x[i], b.x[j]);
+            bag[m++] = p;
+            bag[m++] = e;
+        }
+    }
+    for (int i = 0; i < N; ++i) bag[m++] = a.x[i] * b.x[N - 1 - i];
+    std::sort(bag, bag + kBag,
+              [](double u, double v) { return std::fabs(u) > std::fabs(v); });
+    detail::vec_sum(bag);
+    detail::vec_sum(bag);
+    Expansion<N> r;
+    detail::vec_sum_err_branch(bag, r.x);
+    return r;
+    }
+}
+
+template <int N>
+inline Expansion<N> operator*(const Expansion<N>& a, double b) {
+    Expansion<N> wide(b);
+    return a * wide;
+}
+
+template <int N>
+inline Expansion<N>& operator+=(Expansion<N>& a, const Expansion<N>& b) {
+    return a = a + b;
+}
+template <int N>
+inline Expansion<N>& operator-=(Expansion<N>& a, const Expansion<N>& b) {
+    return a = a - b;
+}
+template <int N>
+inline Expansion<N>& operator*=(Expansion<N>& a, const Expansion<N>& b) {
+    return a = a * b;
+}
+
+/// Division via Newton iteration on certified ops (CAMPARY's divExpans).
+template <int N>
+inline Expansion<N> operator/(const Expansion<N>& a, const Expansion<N>& b) {
+    Expansion<N> r(1.0 / b.x[0]);
+    const Expansion<N> one(1.0);
+    const int iters = N <= 2 ? 2 : 3;
+    for (int k = 0; k < iters; ++k) {
+        Expansion<N> d = one - b * r;
+        r = r + r * d;
+    }
+    Expansion<N> q = a * r;
+    q = q + r * (a - b * q);
+    return q;
+}
+
+template <int N>
+inline Expansion<N> sqrt(const Expansion<N>& a) {
+    if (a.x[0] == 0.0) return {};
+    Expansion<N> r(1.0 / std::sqrt(a.x[0]));
+    const Expansion<N> one(1.0);
+    const Expansion<N> half(0.5);
+    const int iters = N <= 2 ? 2 : 3;
+    for (int k = 0; k < iters; ++k) {
+        Expansion<N> d = one - a * (r * r);
+        r = r + half * (r * d);
+    }
+    Expansion<N> s = a * r;
+    s = s + half * (r * (a - s * s));
+    return s;
+}
+
+template <int N>
+inline Expansion<N> operator*(double a, const Expansion<N>& b) {
+    return b * a;
+}
+
+}  // namespace mf::campary

@@ -1,0 +1,102 @@
+#pragma once
+// RAII wrapper over GMP's mpf_t: the one baseline from the paper's suite that
+// is installed in this environment as the genuine library. mpf provides
+// base-2^64 big-integer mantissas with (non-correctly-rounded) floating
+// semantics -- the "software FPU emulation" approach of §2.2.
+//
+// Only the operations the BLAS benchmarks need are wrapped. Precision is set
+// per-object at construction (GMP rounds capacity up to whole limbs).
+
+#if defined(MF_HAVE_GMP)
+
+#include <gmp.h>
+
+#include <string>
+#include <utility>
+
+namespace mf::gmp {
+
+class GmpFloat {
+public:
+    explicit GmpFloat(unsigned long prec_bits = 64) { mpf_init2(v_, prec_bits); }
+
+    GmpFloat(double x, unsigned long prec_bits) {
+        mpf_init2(v_, prec_bits);
+        mpf_set_d(v_, x);
+    }
+
+    GmpFloat(const GmpFloat& o) {
+        mpf_init2(v_, mpf_get_prec(o.v_));
+        mpf_set(v_, o.v_);
+    }
+
+    GmpFloat(GmpFloat&& o) noexcept {
+        mpf_init2(v_, mpf_get_prec(o.v_));
+        mpf_swap(v_, o.v_);
+    }
+
+    GmpFloat& operator=(const GmpFloat& o) {
+        if (this != &o) mpf_set(v_, o.v_);
+        return *this;
+    }
+
+    GmpFloat& operator=(GmpFloat&& o) noexcept {
+        mpf_swap(v_, o.v_);
+        return *this;
+    }
+
+    ~GmpFloat() { mpf_clear(v_); }
+
+    [[nodiscard]] double to_double() const { return mpf_get_d(v_); }
+    [[nodiscard]] unsigned long precision() const { return mpf_get_prec(v_); }
+
+    GmpFloat& operator+=(const GmpFloat& o) {
+        mpf_add(v_, v_, o.v_);
+        return *this;
+    }
+    GmpFloat& operator-=(const GmpFloat& o) {
+        mpf_sub(v_, v_, o.v_);
+        return *this;
+    }
+    GmpFloat& operator*=(const GmpFloat& o) {
+        mpf_mul(v_, v_, o.v_);
+        return *this;
+    }
+    GmpFloat& operator/=(const GmpFloat& o) {
+        mpf_div(v_, v_, o.v_);
+        return *this;
+    }
+
+    friend GmpFloat operator+(GmpFloat a, const GmpFloat& b) { return a += b; }
+    friend GmpFloat operator-(GmpFloat a, const GmpFloat& b) { return a -= b; }
+    friend GmpFloat operator*(GmpFloat a, const GmpFloat& b) { return a *= b; }
+    friend GmpFloat operator/(GmpFloat a, const GmpFloat& b) { return a /= b; }
+
+    /// Fused accumulate (y += a*x) without temporaries, for the BLAS kernels.
+    void add_mul(const GmpFloat& a, const GmpFloat& x, GmpFloat& scratch) {
+        mpf_mul(scratch.v_, a.v_, x.v_);
+        mpf_add(v_, v_, scratch.v_);
+    }
+
+private:
+    mpf_t v_;
+};
+
+/// Compile-time-precision variant usable as a drop-in number type in the
+/// templated BLAS kernels (default construction must know its precision).
+template <int Prec>
+class GmpFixed : public GmpFloat {
+public:
+    GmpFixed() : GmpFloat(static_cast<unsigned long>(Prec)) {}
+    GmpFixed(double x) : GmpFloat(x, static_cast<unsigned long>(Prec)) {}
+    GmpFixed(const GmpFloat& o) : GmpFloat(o) {}
+
+    friend GmpFixed operator+(GmpFixed a, const GmpFixed& b) { return a += b, a; }
+    friend GmpFixed operator-(GmpFixed a, const GmpFixed& b) { return a -= b, a; }
+    friend GmpFixed operator*(GmpFixed a, const GmpFixed& b) { return a *= b, a; }
+    friend GmpFixed operator/(GmpFixed a, const GmpFixed& b) { return a /= b, a; }
+};
+
+}  // namespace mf::gmp
+
+#endif  // MF_HAVE_GMP

@@ -1,0 +1,97 @@
+#pragma once
+// dd_real: double-double arithmetic after Hida, Li & Bailey, "Algorithms for
+// quad-double precision floating point arithmetic" (ARITH-15, 2001) -- the
+// algorithms underlying the QD 2.x library, reimplemented here as the "QD"
+// baseline of the paper's evaluation (the library itself is not available
+// offline; see DESIGN.md §2).
+//
+// The "accurate" (IEEE-style) variants are used throughout, matching the
+// paper's benchmarking of certified/accurate configurations.
+
+#include <cmath>
+
+#include "../../mf/eft.hpp"
+
+namespace mf::qd {
+
+struct dd_real {
+    double hi = 0.0;
+    double lo = 0.0;
+
+    constexpr dd_real() = default;
+    constexpr dd_real(double h) : hi(h), lo(0.0) {}
+    constexpr dd_real(double h, double l) : hi(h), lo(l) {}
+
+    explicit constexpr operator double() const { return hi; }
+};
+
+// --- addition (QD's ieee_add) ---------------------------------------------
+
+inline dd_real operator+(const dd_real& a, const dd_real& b) {
+    auto [s1, s2] = two_sum(a.hi, b.hi);
+    auto [t1, t2] = two_sum(a.lo, b.lo);
+    s2 += t1;
+    auto [u1, u2] = fast_two_sum(s1, s2);
+    u2 += t2;
+    auto [z1, z2] = fast_two_sum(u1, u2);
+    return {z1, z2};
+}
+
+inline dd_real operator-(const dd_real& a, const dd_real& b) {
+    return a + dd_real{-b.hi, -b.lo};
+}
+
+inline dd_real operator-(const dd_real& a) { return {-a.hi, -a.lo}; }
+
+// --- multiplication ---------------------------------------------------------
+
+inline dd_real operator*(const dd_real& a, const dd_real& b) {
+    auto [p1, p2] = two_prod(a.hi, b.hi);
+    p2 += a.hi * b.lo;
+    p2 += a.lo * b.hi;
+    auto [z1, z2] = fast_two_sum(p1, p2);
+    return {z1, z2};
+}
+
+inline dd_real operator*(const dd_real& a, double b) {
+    auto [p1, p2] = two_prod(a.hi, b);
+    p2 += a.lo * b;
+    auto [z1, z2] = fast_two_sum(p1, p2);
+    return {z1, z2};
+}
+
+// --- division (QD's accurate_div: long division with branches) -------------
+
+inline dd_real operator/(const dd_real& a, const dd_real& b) {
+    const double q1 = a.hi / b.hi;
+    dd_real r = a - b * q1;
+    const double q2 = r.hi / b.hi;
+    r = r - b * q2;
+    const double q3 = r.hi / b.hi;
+    auto [z1, z2] = fast_two_sum(q1, q2);
+    return dd_real{z1, z2} + q3;
+}
+
+inline dd_real operator+(const dd_real& a, double b) { return a + dd_real(b); }
+inline dd_real& operator+=(dd_real& a, const dd_real& b) { return a = a + b; }
+inline dd_real& operator-=(dd_real& a, const dd_real& b) { return a = a - b; }
+inline dd_real& operator*=(dd_real& a, const dd_real& b) { return a = a * b; }
+
+inline dd_real sqrt(const dd_real& a) {
+    // Karp & Markstein: one Newton step on the scalar rsqrt seed.
+    if (a.hi == 0.0) return {};
+    const double x = 1.0 / std::sqrt(a.hi);
+    const double ax = a.hi * x;
+    const dd_real ax2 = dd_real(ax) * dd_real(ax);
+    const dd_real diff = a - ax2;
+    return dd_real(ax) + dd_real(diff.hi * (x * 0.5));
+}
+
+inline bool operator<(const dd_real& a, const dd_real& b) {
+    return a.hi < b.hi || (a.hi == b.hi && a.lo < b.lo);
+}
+inline bool operator==(const dd_real& a, const dd_real& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+}
+
+}  // namespace mf::qd

@@ -1,0 +1,292 @@
+#pragma once
+// qd_real: quad-double arithmetic after Hida, Li & Bailey, "Algorithms for
+// quad-double precision floating point arithmetic" (ARITH-15, 2001),
+// reimplemented as the paper's "QD" 4-term baseline (the QD library itself is
+// not available offline; see DESIGN.md §2). The hallmark of this design --
+// and the performance property the paper's evaluation measures -- is the
+// data-dependent branching in renormalization and accumulation
+// (quick_three_accum, renorm), which defeats vectorization.
+//
+// Accuracy is validated against the BigFloat oracle in
+// tests/baselines_test.cpp.
+
+#include <algorithm>
+#include <cmath>
+
+#include "../../mf/eft.hpp"
+#include "dd_real.hpp"
+
+namespace mf::qd {
+
+struct qd_real {
+    double x[4] = {0.0, 0.0, 0.0, 0.0};
+
+    constexpr qd_real() = default;
+    constexpr qd_real(double a) : x{a, 0.0, 0.0, 0.0} {}
+    constexpr qd_real(double a, double b, double c, double d) : x{a, b, c, d} {}
+
+    explicit constexpr operator double() const { return x[0]; }
+};
+
+namespace detail {
+
+/// HLB renormalization of four overlapping doubles (branching
+/// zero-elimination; transcription of QD's renorm(c0..c3)).
+inline void renorm(double& c0, double& c1, double& c2, double& c3) {
+    if (std::isinf(c0)) return;
+    auto [t2, e3] = fast_two_sum(c2, c3);
+    auto [t1, e2] = fast_two_sum(c1, t2);
+    auto [t0, e1] = fast_two_sum(c0, t1);
+    c0 = t0;
+    c1 = e1;
+    c2 = e2;
+    c3 = e3;
+    double s0 = c0;
+    double s1 = c1;
+    double s2 = 0.0;
+    double s3 = 0.0;
+    if (s1 != 0.0) {
+        auto [a, b] = fast_two_sum(s1, c2);
+        s1 = a;
+        s2 = b;
+        if (s2 != 0.0) {
+            auto [c, d] = fast_two_sum(s2, c3);
+            s2 = c;
+            s3 = d;
+        } else {
+            auto [c, d] = fast_two_sum(s1, c3);
+            s1 = c;
+            s2 = d;
+        }
+    } else {
+        auto [a, b] = fast_two_sum(s0, c2);
+        s0 = a;
+        s1 = b;
+        if (s1 != 0.0) {
+            auto [c, d] = fast_two_sum(s1, c3);
+            s1 = c;
+            s2 = d;
+        } else {
+            auto [c, d] = fast_two_sum(s0, c3);
+            s0 = c;
+            s1 = d;
+        }
+    }
+    c0 = s0;
+    c1 = s1;
+    c2 = s2;
+    c3 = s3;
+}
+
+/// Five-input variant (QD's renorm(c0..c4)): fold c4 in from the bottom.
+inline void renorm(double& c0, double& c1, double& c2, double& c3, double c4) {
+    if (std::isinf(c0)) return;
+    auto [t3, e4] = fast_two_sum(c3, c4);
+    auto [t2, e3] = fast_two_sum(c2, t3);
+    auto [t1, e2] = fast_two_sum(c1, t2);
+    auto [t0, e1] = fast_two_sum(c0, t1);
+    c0 = t0;
+    c1 = e1;
+    c2 = e2;
+    c3 = e3;
+    c4 = e4;
+    // Branching zero-elimination over (c0..c4), keeping four limbs.
+    double s[4] = {c0, 0.0, 0.0, 0.0};
+    int k = 0;
+    double rest[4] = {c1, c2, c3, c4};
+    for (int i = 0; i < 4; ++i) {
+        auto [hi, lo] = fast_two_sum(s[k], rest[i]);
+        s[k] = hi;
+        if (lo != 0.0) {
+            if (k < 3) {
+                s[++k] = lo;
+            }
+        }
+    }
+    c0 = s[0];
+    c1 = s[1];
+    c2 = s[2];
+    c3 = s[3];
+}
+
+/// QD's quick_three_accum: accumulate t into the (u, v) pair, emitting a
+/// finished limb when one separates out (returns 0.0 otherwise). Branchy by
+/// design.
+inline double quick_three_accum(double& u, double& v, double t) {
+    auto [s1, vv] = two_sum(v, t);
+    auto [s, uu] = two_sum(u, s1);
+    u = uu;
+    v = vv;
+    const bool zu = (uu != 0.0);
+    const bool zv = (vv != 0.0);
+    if (zu && zv) return s;
+    if (!zv) {
+        v = u;
+        u = s;
+    } else {
+        u = s;
+    }
+    return 0.0;
+}
+
+/// three_sum / three_sum2 from the QD sources.
+inline void three_sum(double& a, double& b, double& c) {
+    auto [t1, t2] = two_sum(a, b);
+    auto [s, t3] = two_sum(c, t1);
+    a = s;
+    auto [b2, c2] = two_sum(t2, t3);
+    b = b2;
+    c = c2;
+}
+
+inline void three_sum2(double& a, double& b, double c) {
+    auto [t1, t2] = two_sum(a, b);
+    auto [s, t3] = two_sum(c, t1);
+    a = s;
+    b = t2 + t3;
+}
+
+}  // namespace detail
+
+// --- addition (HLB accurate qd+qd, "ieee_add") ------------------------------
+
+inline qd_real operator+(const qd_real& a, const qd_real& b) {
+    int i = 0;
+    int j = 0;
+    int k = 0;
+    double u;
+    double v;
+    double x[4] = {0.0, 0.0, 0.0, 0.0};
+    if (std::fabs(a.x[i]) > std::fabs(b.x[j])) {
+        u = a.x[i++];
+    } else {
+        u = b.x[j++];
+    }
+    if (i < 4 && (j >= 4 || std::fabs(a.x[i]) > std::fabs(b.x[j]))) {
+        v = a.x[i++];
+    } else {
+        v = b.x[j++];
+    }
+    {
+        auto [s, e] = fast_two_sum(u, v);
+        u = s;
+        v = e;
+    }
+    while (k < 4) {
+        if (i >= 4 && j >= 4) {
+            x[k] = u;
+            if (k < 3) x[++k] = v;
+            break;
+        }
+        double t;
+        if (i >= 4) {
+            t = b.x[j++];
+        } else if (j >= 4 || std::fabs(a.x[i]) > std::fabs(b.x[j])) {
+            t = a.x[i++];
+        } else {
+            t = b.x[j++];
+        }
+        const double s = detail::quick_three_accum(u, v, t);
+        if (s != 0.0) x[k++] = s;
+    }
+    // Add the remaining (below-threshold) terms into the last limb.
+    for (int m = i; m < 4; ++m) x[3] += a.x[m];
+    for (int m = j; m < 4; ++m) x[3] += b.x[m];
+    detail::renorm(x[0], x[1], x[2], x[3]);
+    return {x[0], x[1], x[2], x[3]};
+}
+
+inline qd_real operator-(const qd_real& a) {
+    return {-a.x[0], -a.x[1], -a.x[2], -a.x[3]};
+}
+
+inline qd_real operator-(const qd_real& a, const qd_real& b) { return a + (-b); }
+
+// --- multiplication (HLB accurate qd*qd structure) ---------------------------
+
+inline qd_real operator*(const qd_real& a, const qd_real& b) {
+    auto [p0, q0] = two_prod(a.x[0], b.x[0]);
+    auto [p1, q1] = two_prod(a.x[0], b.x[1]);
+    auto [p2, q2] = two_prod(a.x[1], b.x[0]);
+    auto [p3, q3] = two_prod(a.x[0], b.x[2]);
+    auto [p4, q4] = two_prod(a.x[1], b.x[1]);
+    auto [p5, q5] = two_prod(a.x[2], b.x[0]);
+
+    // Order-1 pile.
+    detail::three_sum(p1, p2, q0);  // p1 main; p2, q0 pushed down
+    // Order-2 pile.
+    detail::three_sum(p2, q1, q2);  // p2 main; q1, q2 pushed down
+    detail::three_sum(p2, p3, p4);  // fold p3, p4; they carry the errors
+    auto [p2f, e5] = two_sum(p2, p5);
+    // Order-3 pile (everything below contributes to the fourth limb).
+    const double t = q0 + q1 + q2 + p3 + p4 + e5 + q3 + q4 + q5 +
+                     a.x[0] * b.x[3] + a.x[1] * b.x[2] + a.x[2] * b.x[1] +
+                     a.x[3] * b.x[0];
+    double c0 = p0;
+    double c1 = p1;
+    double c2 = p2f;
+    double c3 = t;
+    detail::renorm(c0, c1, c2, c3);
+    return {c0, c1, c2, c3};
+}
+
+inline qd_real operator*(const qd_real& a, double b) {
+    auto [p0, q0] = two_prod(a.x[0], b);
+    auto [p1, q1] = two_prod(a.x[1], b);
+    auto [p2, q2] = two_prod(a.x[2], b);
+    const double p3 = a.x[3] * b;
+    // Level pooling as in the QD sources (mul_qd_d).
+    auto [s1, s2i] = two_sum(q0, p1);
+    double s2 = s2i;
+    double e1 = q1;
+    double e2 = p2;
+    detail::three_sum(s2, e1, e2);  // s2 main; e1, e2 pushed down
+    double s3 = e1;
+    detail::three_sum2(s3, q2, p3);  // s3 main; q2 absorbed the rest
+    const double s4 = q2 + e2;
+    double c0 = p0;
+    double c1 = s1;
+    double c2 = s2;
+    double c3 = s3;
+    detail::renorm(c0, c1, c2, c3, s4);
+    return {c0, c1, c2, c3};
+}
+
+inline qd_real& operator+=(qd_real& a, const qd_real& b) { return a = a + b; }
+inline qd_real& operator-=(qd_real& a, const qd_real& b) { return a = a - b; }
+inline qd_real& operator*=(qd_real& a, const qd_real& b) { return a = a * b; }
+
+// --- division (HLB long division with branches) ------------------------------
+
+inline qd_real operator/(const qd_real& a, const qd_real& b) {
+    double q0 = a.x[0] / b.x[0];
+    qd_real r = a - b * q0;
+    double q1 = r.x[0] / b.x[0];
+    r -= b * q1;
+    double q2 = r.x[0] / b.x[0];
+    r -= b * q2;
+    double q3 = r.x[0] / b.x[0];
+    r -= b * q3;
+    const double q4 = r.x[0] / b.x[0];
+    detail::renorm(q0, q1, q2, q3, q4);
+    return {q0, q1, q2, q3};
+}
+
+inline qd_real sqrt(const qd_real& a) {
+    if (a.x[0] == 0.0) return {};
+    // Newton on 1/sqrt with a scalar seed, as in the QD sources.
+    qd_real r(1.0 / std::sqrt(a.x[0]));
+    const qd_real half(0.5);
+    for (int i = 0; i < 3; ++i) {
+        const qd_real rr = r * r;
+        const qd_real d = qd_real(1.0) - a * rr;
+        r = r + r * d * half;
+    }
+    return a * r;
+}
+
+inline bool operator==(const qd_real& a, const qd_real& b) {
+    return a.x[0] == b.x[0] && a.x[1] == b.x[1] && a.x[2] == b.x[2] && a.x[3] == b.x[3];
+}
+
+}  // namespace mf::qd

@@ -1,0 +1,342 @@
+#include "bigfloat.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+namespace mf::big {
+
+BigFloat::BigFloat(int sign, Limbs mag, std::int64_t exp)
+    : sign_(sign), mag_(std::move(mag)), exp_(exp) {
+    canonicalize();
+}
+
+void BigFloat::canonicalize() {
+    normalize(mag_);
+    if (mag_.empty()) {
+        sign_ = 0;
+        exp_ = 0;
+        return;
+    }
+    // Strip trailing zero bits into the exponent so that equal values have
+    // equal representations.
+    std::int64_t tz = 0;
+    while (!get_bit(mag_, tz)) ++tz;
+    if (tz > 0) {
+        mag_ = ushr(mag_, tz);
+        exp_ += tz;
+    }
+}
+
+BigFloat BigFloat::from_double(double x) {
+    if (x == 0.0) return {};
+    assert(std::isfinite(x));
+    int sign = 1;
+    if (x < 0) {
+        sign = -1;
+        x = -x;
+    }
+    int e = 0;
+    const double frac = std::frexp(x, &e);  // x = frac * 2^e, frac in [0.5, 1)
+    // frac * 2^53 is an integer <= 2^53 - ... (exact for any double).
+    const auto mant = static_cast<std::uint64_t>(std::ldexp(frac, 53));
+    return BigFloat(sign, from_u64(mant), static_cast<std::int64_t>(e) - 53);
+}
+
+BigFloat BigFloat::from_int(std::int64_t x) {
+    if (x == 0) return {};
+    const int sign = x < 0 ? -1 : 1;
+    const auto mag = static_cast<std::uint64_t>(x < 0 ? -(x + 1) + 1 : x);
+    return BigFloat(sign, from_u64(mag), 0);
+}
+
+BigFloat BigFloat::from_expansion(std::span<const double> limbs) {
+    BigFloat acc;
+    for (double l : limbs) acc = acc + from_double(l);
+    return acc;
+}
+
+BigFloat BigFloat::from_expansion(std::span<const float> limbs) {
+    BigFloat acc;
+    for (float l : limbs) acc = acc + from_double(static_cast<double>(l));
+    return acc;
+}
+
+std::int64_t BigFloat::ilogb() const {
+    assert(!is_zero());
+    return exp_ + bit_length(mag_) - 1;
+}
+
+std::int64_t BigFloat::mantissa_bits() const { return bit_length(mag_); }
+
+BigFloat BigFloat::operator-() const {
+    BigFloat r = *this;
+    r.sign_ = -r.sign_;
+    return r;
+}
+
+BigFloat BigFloat::abs() const {
+    BigFloat r = *this;
+    if (r.sign_ < 0) r.sign_ = 1;
+    return r;
+}
+
+BigFloat operator+(const BigFloat& a, const BigFloat& b) {
+    if (a.is_zero()) return b;
+    if (b.is_zero()) return a;
+    // Align to the smaller exponent; exact (magnitudes grow).
+    const std::int64_t e = std::min(a.exp_, b.exp_);
+    const Limbs ma = ushl(a.mag_, a.exp_ - e);
+    const Limbs mb = ushl(b.mag_, b.exp_ - e);
+    if (a.sign_ == b.sign_) return BigFloat(a.sign_, uadd(ma, mb), e);
+    const int c = ucmp(ma, mb);
+    if (c == 0) return {};
+    if (c > 0) return BigFloat(a.sign_, usub(ma, mb), e);
+    return BigFloat(b.sign_, usub(mb, ma), e);
+}
+
+BigFloat operator-(const BigFloat& a, const BigFloat& b) { return a + (-b); }
+
+BigFloat operator*(const BigFloat& a, const BigFloat& b) {
+    if (a.is_zero() || b.is_zero()) return {};
+    return BigFloat(a.sign_ * b.sign_, umul(a.mag_, b.mag_), a.exp_ + b.exp_);
+}
+
+BigFloat BigFloat::ldexp(std::int64_t e) const {
+    if (is_zero()) return {};
+    return BigFloat(sign_, mag_, exp_ + e);
+}
+
+BigFloat BigFloat::round(std::int64_t prec) const {
+    assert(prec >= 1);
+    if (is_zero()) return {};
+    const std::int64_t nbits = bit_length(mag_);
+    if (nbits <= prec) return *this;
+    const std::int64_t drop = nbits - prec;
+    bool sticky = false;
+    Limbs kept = ushr(mag_, drop, &sticky);
+    const bool guard = get_bit(mag_, drop - 1);
+    // "sticky" from ushr includes the guard bit; recompute below the guard.
+    const bool below = any_below(mag_, drop - 1);
+    const bool lsb = get_bit(kept, 0);
+    if (guard && (below || lsb)) uinc(kept);
+    return BigFloat(sign_, std::move(kept), exp_ + drop);
+}
+
+BigFloat BigFloat::div(const BigFloat& a, const BigFloat& b, std::int64_t prec) {
+    assert(!b.is_zero());
+    if (a.is_zero()) return {};
+    // Scale the dividend so the integer quotient has prec + 1 significant
+    // bits; the remainder then decides the final rounding exactly.
+    const std::int64_t la = bit_length(a.mag_);
+    const std::int64_t lb = bit_length(b.mag_);
+    const std::int64_t shift = lb - la + prec + 1;
+    const Limbs num = shift >= 0 ? ushl(a.mag_, shift) : Limbs(a.mag_);
+    // (shift < 0 cannot occur when prec >= 1 and la <= lb + prec, and when it
+    // would, shifting the denominator instead keeps everything integral.)
+    Limbs den = b.mag_;
+    const std::int64_t qexp = a.exp_ - b.exp_ - shift;
+    if (shift < 0) den = ushl(den, -shift);
+    auto [q, r] = udivrem(num, den);
+    // Fold the remainder into a sticky bit one position below the quotient's
+    // lsb (the quotient has >= prec + 1 bits, so the sticky sits below the
+    // rounding guard), then round to nearest even.
+    std::int64_t qe = qexp;
+    if (!mf::big::is_zero(r)) {
+        q = ushl(q, 1);
+        q[0] |= 1;
+        qe -= 1;
+    }
+    return BigFloat(a.sign_ * b.sign_, std::move(q), qe).round(prec);
+}
+
+BigFloat BigFloat::sqrt(const BigFloat& a, std::int64_t prec) {
+    assert(a.sign_ >= 0);
+    if (a.is_zero()) return {};
+    // Scale a by an even power of two so that the integer square root has
+    // at least prec + 1 bits.
+    const std::int64_t la = bit_length(a.mag_);
+    std::int64_t shift = 2 * (prec + 2) - la;
+    if (shift < 0) shift = 0;
+    if ((shift + a.exp_) % 2 != 0) ++shift;  // keep the scaled exponent even
+    const Limbs scaled = ushl(a.mag_, shift);
+    auto [s, r] = usqrt(scaled);
+    std::int64_t se = (a.exp_ - shift) / 2;
+    if (!mf::big::is_zero(r)) {
+        // Inexact: append a sticky bit below the root before rounding.
+        s = ushl(s, 1);
+        s[0] |= 1;
+        se -= 1;
+    }
+    return BigFloat(1, std::move(s), se).round(prec);
+}
+
+double BigFloat::to_double() const {
+    if (is_zero()) return 0.0;
+    const BigFloat r = round(53);
+    const std::int64_t nbits = bit_length(r.mag_);
+    // Reassemble the top (<= 53) bits into a uint64 and scale.
+    std::uint64_t m = 0;
+    for (std::int64_t i = nbits - 1; i >= 0 && i >= nbits - 53; --i) {
+        m = (m << 1) | (get_bit(r.mag_, i) ? 1u : 0u);
+    }
+    const std::int64_t e = r.exp_ + (nbits > 53 ? nbits - 53 : 0);
+    double d = static_cast<double>(m);
+    d = std::ldexp(d, static_cast<int>(std::clamp<std::int64_t>(e, -4000, 4000)));
+    return sign_ < 0 ? -d : d;
+}
+
+int BigFloat::cmp(const BigFloat& a, const BigFloat& b) {
+    if (a.sign_ != b.sign_) return a.sign_ < b.sign_ ? -1 : 1;
+    if (a.sign_ == 0) return 0;
+    const BigFloat d = a - b;
+    return d.sign_;
+}
+
+BigFloat ulp_at(const BigFloat& x, std::int64_t prec) {
+    assert(!x.is_zero());
+    BigFloat one = BigFloat::from_int(1);
+    return one.ldexp(x.ilogb() - prec + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Decimal conversion.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// mag * 10, in place.
+Limbs mul10(const Limbs& v) {
+    return uadd(ushl(v, 3), ushl(v, 1));
+}
+
+/// Decimal digits of a bigint (most significant first), via repeated
+/// division by 10^19.
+std::string to_decimal(Limbs v) {
+    if (is_zero(v)) return "0";
+    const Limbs ten19 = from_u64(10000000000000000000ull);
+    std::string out;
+    while (!is_zero(v)) {
+        auto [q, r] = udivrem(v, ten19);
+        std::uint64_t chunk = r.empty() ? 0 : r[0];
+        for (int i = 0; i < 19; ++i) {
+            out.push_back(static_cast<char>('0' + chunk % 10));
+            chunk /= 10;
+        }
+        v = std::move(q);
+    }
+    while (out.size() > 1 && out.back() == '0') out.pop_back();
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace
+
+std::string BigFloat::to_string(int digits10) const {
+    if (is_zero()) return "0";
+    if (digits10 < 1) digits10 = 1;
+    // Find the decimal exponent d10 with |value| in [10^d10, 10^(d10+1)).
+    const double approx_log10 = static_cast<double>(ilogb()) * 0.3010299956639812;
+    auto d10 = static_cast<std::int64_t>(std::floor(approx_log10));
+    // Compute digits = round(|value| * 10^(digits10 - 1 - d10)) with a
+    // verification step in case the log10 estimate was off by one.
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        const std::int64_t k = digits10 - 1 - d10;
+        // scaled = mag * 2^exp * 10^k, evaluated exactly as a rational and
+        // rounded to nearest integer.
+        Limbs num = mag_;
+        Limbs den = from_u64(1);
+        if (k >= 0) {
+            for (std::int64_t i = 0; i < k; ++i) num = mul10(num);
+        } else {
+            for (std::int64_t i = 0; i < -k; ++i) den = mul10(den);
+        }
+        if (exp_ >= 0) {
+            num = ushl(num, exp_);
+        } else {
+            den = ushl(den, -exp_);
+        }
+        auto [q, r] = udivrem(num, den);
+        // Round half up (presentation only).
+        const Limbs r2 = ushl(r, 1);
+        if (ucmp(r2, den) >= 0) uinc(q);
+        std::string digits = to_decimal(q);
+        if (static_cast<std::int64_t>(digits.size()) == digits10 + 1) {
+            // Rounding overflowed into one extra digit (e.g. 999.9 -> 1000).
+            ++d10;
+            continue;
+        }
+        if (static_cast<std::int64_t>(digits.size()) < digits10) {
+            --d10;
+            continue;
+        }
+        std::ostringstream os;
+        if (sign_ < 0) os << '-';
+        os << digits[0];
+        if (digits.size() > 1) os << '.' << digits.substr(1);
+        os << 'e' << (d10 >= 0 ? "+" : "") << d10;
+        return os.str();
+    }
+    return "<to_string failed>";
+}
+
+BigFloat BigFloat::from_string(const std::string& s, std::int64_t prec) {
+    // Parse [-]ddd[.ddd][(e|E)[+-]ddd]
+    std::size_t i = 0;
+    int sign = 1;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) {
+        if (s[i] == '-') sign = -1;
+        ++i;
+    }
+    Limbs digits;
+    std::int64_t frac_digits = 0;
+    bool seen_digit = false;
+    bool in_frac = false;
+    for (; i < s.size(); ++i) {
+        const char c = s[i];
+        if (c >= '0' && c <= '9') {
+            digits = uadd(mul10(digits), from_u64(static_cast<std::uint64_t>(c - '0')));
+            if (in_frac) ++frac_digits;
+            seen_digit = true;
+        } else if (c == '.' && !in_frac) {
+            in_frac = true;
+        } else {
+            break;
+        }
+    }
+    if (!seen_digit) return {};
+    std::int64_t e10 = 0;
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+        ++i;
+        int esign = 1;
+        if (i < s.size() && (s[i] == '+' || s[i] == '-')) {
+            if (s[i] == '-') esign = -1;
+            ++i;
+        }
+        std::int64_t ev = 0;
+        for (; i < s.size() && s[i] >= '0' && s[i] <= '9'; ++i) {
+            ev = ev * 10 + (s[i] - '0');
+        }
+        e10 = esign * ev;
+    }
+    e10 -= frac_digits;
+    if (mf::big::is_zero(digits)) return {};
+    // value = sign * digits * 10^e10; evaluate as a correctly rounded binary.
+    if (e10 >= 0) {
+        Limbs num = digits;
+        for (std::int64_t k = 0; k < e10; ++k) num = mul10(num);
+        BigFloat r(sign, std::move(num), 0);
+        return r.round(prec);
+    }
+    Limbs den = from_u64(1);
+    for (std::int64_t k = 0; k < -e10; ++k) den = mul10(den);
+    const BigFloat num(sign, digits, 0);
+    const BigFloat d(1, std::move(den), 0);
+    return div(num, d, prec);
+}
+
+}  // namespace mf::big

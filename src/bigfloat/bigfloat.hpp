@@ -1,0 +1,106 @@
+#pragma once
+// BigFloat: an arbitrary-precision binary floating-point number with
+// MPFR-style semantics, used both as
+//
+//   (1) the exact oracle for the entire test suite (every MultiFloat
+//       operation is compared against correctly rounded BigFloat results),
+//   (2) the "software FPU emulation" baseline of the paper's evaluation
+//       (the GMP/MPFR/FLINT/Boost.Multiprecision library class: big-integer
+//       mantissas plus branching alignment/normalization/rounding logic).
+//
+// Representation: value = sign * mag * 2^exp, where mag is an arbitrary-size
+// unsigned integer (bigint.hpp) and exp a signed binary exponent. Arithmetic
+// (+, -, *) is EXACT -- the magnitude simply grows -- and `round(prec)`
+// performs a single correct round-to-nearest-even at any requested precision.
+// Division and square root take an explicit precision and are correctly
+// rounded using remainder information.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "bigint.hpp"
+
+namespace mf::big {
+
+class BigFloat {
+public:
+    /// Zero.
+    BigFloat() = default;
+
+    /// Exact conversion from a machine double (every finite double is a
+    /// dyadic rational).
+    static BigFloat from_double(double x);
+
+    /// Exact conversion from an integer.
+    static BigFloat from_int(std::int64_t x);
+
+    /// Exact sum of a floating-point expansion (the value a MultiFloat
+    /// represents).
+    static BigFloat from_expansion(std::span<const double> limbs);
+    static BigFloat from_expansion(std::span<const float> limbs);
+
+    /// value = sign * mag * 2^exp
+    [[nodiscard]] int sign() const noexcept { return sign_; }
+    [[nodiscard]] bool is_zero() const noexcept { return sign_ == 0; }
+
+    /// Exponent of the leading bit: value in [2^e, 2^(e+1)) for positives.
+    [[nodiscard]] std::int64_t ilogb() const;
+
+    /// Number of significant bits in the magnitude.
+    [[nodiscard]] std::int64_t mantissa_bits() const;
+
+    [[nodiscard]] BigFloat operator-() const;
+    [[nodiscard]] BigFloat abs() const;
+
+    /// Exact arithmetic (no rounding; magnitudes grow as needed).
+    friend BigFloat operator+(const BigFloat& a, const BigFloat& b);
+    friend BigFloat operator-(const BigFloat& a, const BigFloat& b);
+    friend BigFloat operator*(const BigFloat& a, const BigFloat& b);
+
+    /// Exact scale by a power of two.
+    [[nodiscard]] BigFloat ldexp(std::int64_t e) const;
+
+    /// Correct round-to-nearest-even at `prec` significant bits.
+    [[nodiscard]] BigFloat round(std::int64_t prec) const;
+
+    /// Correctly rounded quotient / square root at `prec` significant bits.
+    static BigFloat div(const BigFloat& a, const BigFloat& b, std::int64_t prec);
+    static BigFloat sqrt(const BigFloat& a, std::int64_t prec);
+
+    /// Nearest double (RNE; overflows to +-inf). Exact if representable.
+    [[nodiscard]] double to_double() const;
+
+    /// -1 / 0 / +1 signed comparison.
+    [[nodiscard]] static int cmp(const BigFloat& a, const BigFloat& b);
+
+    friend bool operator==(const BigFloat& a, const BigFloat& b) { return cmp(a, b) == 0; }
+    friend bool operator<(const BigFloat& a, const BigFloat& b) { return cmp(a, b) < 0; }
+    friend bool operator>(const BigFloat& a, const BigFloat& b) { return cmp(a, b) > 0; }
+    friend bool operator<=(const BigFloat& a, const BigFloat& b) { return cmp(a, b) <= 0; }
+    friend bool operator>=(const BigFloat& a, const BigFloat& b) { return cmp(a, b) >= 0; }
+
+    /// Decimal rendering with `digits10` significant digits ("1.234e-5").
+    [[nodiscard]] std::string to_string(int digits10) const;
+
+    /// Parse a decimal string ("[-]ddd[.ddd][e[+-]dd]"), correctly rounded
+    /// to `prec` bits. Returns zero on malformed input.
+    static BigFloat from_string(const std::string& s, std::int64_t prec);
+
+    /// Direct access for white-box tests.
+    [[nodiscard]] const Limbs& magnitude() const noexcept { return mag_; }
+    [[nodiscard]] std::int64_t raw_exponent() const noexcept { return exp_; }
+
+private:
+    BigFloat(int sign, Limbs mag, std::int64_t exp);
+    void canonicalize();
+
+    int sign_ = 0;           // -1, 0, +1
+    Limbs mag_;              // unsigned magnitude; empty iff zero
+    std::int64_t exp_ = 0;   // value = sign_ * mag_ * 2^exp_
+};
+
+/// ulp of the leading limb position at precision p: 2^(ilogb(x) - p + 1).
+[[nodiscard]] BigFloat ulp_at(const BigFloat& x, std::int64_t prec);
+
+}  // namespace mf::big

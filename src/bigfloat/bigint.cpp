@@ -1,0 +1,232 @@
+#include "bigint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace mf::big {
+
+void normalize(Limbs& v) {
+    while (!v.empty() && v.back() == 0) v.pop_back();
+}
+
+bool is_zero(const Limbs& v) {
+    for (Limb l : v)
+        if (l != 0) return false;
+    return true;
+}
+
+std::int64_t bit_length(const Limbs& v) {
+    for (std::size_t i = v.size(); i-- > 0;) {
+        if (v[i] != 0) {
+            return static_cast<std::int64_t>(i) * limb_bits +
+                   (limb_bits - std::countl_zero(v[i]));
+        }
+    }
+    return 0;
+}
+
+bool get_bit(const Limbs& v, std::int64_t i) {
+    if (i < 0) return false;
+    const auto limb = static_cast<std::size_t>(i / limb_bits);
+    if (limb >= v.size()) return false;
+    return (v[limb] >> (i % limb_bits)) & 1u;
+}
+
+void set_bit(Limbs& v, std::int64_t i) {
+    assert(i >= 0);
+    const auto limb = static_cast<std::size_t>(i / limb_bits);
+    if (limb >= v.size()) v.resize(limb + 1, 0);
+    v[limb] |= Limb(1) << (i % limb_bits);
+}
+
+bool any_below(const Limbs& v, std::int64_t i) {
+    if (i <= 0) return false;
+    const auto whole = static_cast<std::size_t>(i / limb_bits);
+    const int part = static_cast<int>(i % limb_bits);
+    for (std::size_t k = 0; k < whole && k < v.size(); ++k)
+        if (v[k] != 0) return true;
+    if (part != 0 && whole < v.size()) {
+        const Limb mask = (Limb(1) << part) - 1;
+        if (v[whole] & mask) return true;
+    }
+    return false;
+}
+
+int ucmp(const Limbs& a, const Limbs& b) {
+    const std::int64_t la = bit_length(a);
+    const std::int64_t lb = bit_length(b);
+    if (la != lb) return la < lb ? -1 : 1;
+    const std::size_t n = static_cast<std::size_t>((la + limb_bits - 1) / limb_bits);
+    for (std::size_t i = n; i-- > 0;) {
+        const Limb x = i < a.size() ? a[i] : 0;
+        const Limb y = i < b.size() ? b[i] : 0;
+        if (x != y) return x < y ? -1 : 1;
+    }
+    return 0;
+}
+
+Limbs uadd(const Limbs& a, const Limbs& b) {
+    const std::size_t n = std::max(a.size(), b.size());
+    Limbs r(n + 1, 0);
+    unsigned __int128 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        unsigned __int128 s = carry;
+        if (i < a.size()) s += a[i];
+        if (i < b.size()) s += b[i];
+        r[i] = static_cast<Limb>(s);
+        carry = s >> limb_bits;
+    }
+    r[n] = static_cast<Limb>(carry);
+    normalize(r);
+    return r;
+}
+
+Limbs usub(const Limbs& a, const Limbs& b) {
+    assert(ucmp(a, b) >= 0);
+    Limbs r(a.size(), 0);
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const Limb bi = i < b.size() ? b[i] : 0;
+        const Limb ai = a[i];
+        Limb d = ai - bi;
+        const std::int64_t next_borrow = (ai < bi) || (borrow && d == 0) ? 1 : 0;
+        d -= static_cast<Limb>(borrow);
+        r[i] = d;
+        borrow = next_borrow;
+    }
+    assert(borrow == 0);
+    normalize(r);
+    return r;
+}
+
+void uinc(Limbs& a) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (++a[i] != 0) return;
+    }
+    a.push_back(1);
+}
+
+Limbs ushl(const Limbs& a, std::int64_t bits) {
+    assert(bits >= 0);
+    if (is_zero(a) || bits == 0) {
+        Limbs r = a;
+        normalize(r);
+        return r;
+    }
+    const auto whole = static_cast<std::size_t>(bits / limb_bits);
+    const int part = static_cast<int>(bits % limb_bits);
+    Limbs r(a.size() + whole + 1, 0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        r[i + whole] |= part == 0 ? a[i] : (a[i] << part);
+        if (part != 0) r[i + whole + 1] |= a[i] >> (limb_bits - part);
+    }
+    normalize(r);
+    return r;
+}
+
+Limbs ushr(const Limbs& a, std::int64_t bits, bool* sticky) {
+    assert(bits >= 0);
+    if (sticky) *sticky = any_below(a, bits);
+    const auto whole = static_cast<std::size_t>(bits / limb_bits);
+    const int part = static_cast<int>(bits % limb_bits);
+    if (whole >= a.size()) return {};
+    Limbs r(a.size() - whole, 0);
+    for (std::size_t i = 0; i < r.size(); ++i) {
+        r[i] = part == 0 ? a[i + whole] : (a[i + whole] >> part);
+        if (part != 0 && i + whole + 1 < a.size())
+            r[i] |= a[i + whole + 1] << (limb_bits - part);
+    }
+    normalize(r);
+    return r;
+}
+
+Limbs umul(const Limbs& a, const Limbs& b) {
+    if (is_zero(a) || is_zero(b)) return {};
+    Limbs r(a.size() + b.size(), 0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] == 0) continue;
+        Limb carry = 0;
+        for (std::size_t j = 0; j < b.size(); ++j) {
+            const unsigned __int128 cur =
+                static_cast<unsigned __int128>(a[i]) * b[j] + r[i + j] + carry;
+            r[i + j] = static_cast<Limb>(cur);
+            carry = static_cast<Limb>(cur >> limb_bits);
+        }
+        r[i + b.size()] += carry;
+    }
+    normalize(r);
+    return r;
+}
+
+DivResult udivrem(const Limbs& a, const Limbs& b) {
+    assert(!is_zero(b));
+    DivResult res;
+    if (ucmp(a, b) < 0) {
+        res.rem = a;
+        normalize(res.rem);
+        return res;
+    }
+    const std::int64_t la = bit_length(a);
+    const std::int64_t lb = bit_length(b);
+    // Restoring shift-subtract division, one quotient bit per step.
+    Limbs rem;
+    Limbs quot;
+    for (std::int64_t i = la - 1; i >= 0; --i) {
+        rem = ushl(rem, 1);
+        if (get_bit(a, i)) {
+            if (rem.empty()) rem.push_back(1);
+            else rem[0] |= 1;
+        }
+        if (ucmp(rem, b) >= 0) {
+            rem = usub(rem, b);
+            set_bit(quot, i);
+        }
+    }
+    (void)lb;
+    res.quot = std::move(quot);
+    res.rem = std::move(rem);
+    normalize(res.quot);
+    normalize(res.rem);
+    return res;
+}
+
+SqrtResult usqrt(const Limbs& a) {
+    SqrtResult res;
+    if (is_zero(a)) return res;
+    const std::int64_t la = bit_length(a);
+    // Classical digit-by-digit method in base 2: process bit pairs from the
+    // top; invariant rem = a_high - root^2 over the processed prefix.
+    Limbs root;
+    Limbs rem;
+    std::int64_t i = la - 1;
+    if (i % 2 == 0) ++i;  // make the window [i, i-1] cover an even boundary
+    for (; i >= 1; i -= 2) {
+        // Bring down two bits.
+        rem = ushl(rem, 2);
+        if (get_bit(a, i)) set_bit(rem, 1);
+        if (get_bit(a, i - 1)) set_bit(rem, 0);
+        // Trial subtrahend: (root << 2) + 1.
+        Limbs trial = ushl(root, 2);
+        if (trial.empty()) trial.push_back(1);
+        else trial[0] |= 1;
+        root = ushl(root, 1);
+        if (ucmp(rem, trial) >= 0) {
+            rem = usub(rem, trial);
+            if (root.empty()) root.push_back(1);
+            else root[0] |= 1;
+        }
+    }
+    normalize(root);
+    normalize(rem);
+    res.root = std::move(root);
+    res.rem = std::move(rem);
+    return res;
+}
+
+Limbs from_u64(std::uint64_t x) {
+    if (x == 0) return {};
+    return {x};
+}
+
+}  // namespace mf::big

@@ -1,0 +1,76 @@
+#pragma once
+// Unsigned arbitrary-precision integer magnitudes: the digit layer beneath
+// BigFloat. Little-endian vectors of 64-bit limbs, mirroring the
+// representation the paper attributes to GMP/MPFR-class libraries
+// ("big integers in base 2^64 using arrays of machine words as digits").
+//
+// Only the operations BigFloat needs are provided; all are value-semantic
+// free functions over Limbs.
+
+#include <cstdint>
+#include <vector>
+
+namespace mf::big {
+
+using Limb = std::uint64_t;
+using Limbs = std::vector<Limb>;
+
+inline constexpr int limb_bits = 64;
+
+/// Strip high-order zero limbs (canonical form; empty vector == 0).
+void normalize(Limbs& v);
+
+[[nodiscard]] bool is_zero(const Limbs& v);
+
+/// Number of significant bits (0 for zero).
+[[nodiscard]] std::int64_t bit_length(const Limbs& v);
+
+/// Value of bit i (0 if beyond the top).
+[[nodiscard]] bool get_bit(const Limbs& v, std::int64_t i);
+
+/// Set bit i, growing as needed.
+void set_bit(Limbs& v, std::int64_t i);
+
+/// True if any bit strictly below position i is set.
+[[nodiscard]] bool any_below(const Limbs& v, std::int64_t i);
+
+/// -1 / 0 / +1 three-way magnitude comparison.
+[[nodiscard]] int ucmp(const Limbs& a, const Limbs& b);
+
+/// a + b.
+[[nodiscard]] Limbs uadd(const Limbs& a, const Limbs& b);
+
+/// a - b; requires a >= b.
+[[nodiscard]] Limbs usub(const Limbs& a, const Limbs& b);
+
+/// a += 1 (in place).
+void uinc(Limbs& a);
+
+/// a << bits (bits >= 0).
+[[nodiscard]] Limbs ushl(const Limbs& a, std::int64_t bits);
+
+/// a >> bits (bits >= 0); if sticky is non-null, *sticky reports whether any
+/// shifted-out bit was set.
+[[nodiscard]] Limbs ushr(const Limbs& a, std::int64_t bits, bool* sticky = nullptr);
+
+/// a * b (schoolbook, 128-bit partials).
+[[nodiscard]] Limbs umul(const Limbs& a, const Limbs& b);
+
+/// Quotient and remainder of a / b; b != 0.
+struct DivResult {
+    Limbs quot;
+    Limbs rem;
+};
+[[nodiscard]] DivResult udivrem(const Limbs& a, const Limbs& b);
+
+/// Integer square root with remainder: s = floor(sqrt(a)), r = a - s*s.
+struct SqrtResult {
+    Limbs root;
+    Limbs rem;
+};
+[[nodiscard]] SqrtResult usqrt(const Limbs& a);
+
+/// Construct from a machine word.
+[[nodiscard]] Limbs from_u64(std::uint64_t x);
+
+}  // namespace mf::big

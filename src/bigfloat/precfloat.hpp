@@ -1,0 +1,62 @@
+#pragma once
+// PrecFloat: BigFloat with MPFR-style fixed working precision -- every
+// operation rounds to `Prec` bits (RNE). This is the benchmarkable face of
+// the software-FPU baseline ("BigFloat (MPFR-like)" rows in the evaluation
+// tables): the compile-time precision mirrors how the paper statically
+// configures MPFR/FLINT/Boost at 53/103/156/208 bits.
+
+#include "bigfloat.hpp"
+
+namespace mf::big {
+
+template <int Prec>
+class PrecFloat {
+public:
+    static constexpr int precision = Prec;
+
+    PrecFloat() = default;
+    PrecFloat(double x) : v_(BigFloat::from_double(x)) {}
+    explicit PrecFloat(BigFloat v) : v_(v.round(Prec)) {}
+
+    [[nodiscard]] double to_double() const { return v_.to_double(); }
+    [[nodiscard]] const BigFloat& value() const { return v_; }
+
+    friend PrecFloat operator+(const PrecFloat& a, const PrecFloat& b) {
+        return PrecFloat((a.v_ + b.v_).round(Prec), kRaw);
+    }
+    friend PrecFloat operator-(const PrecFloat& a, const PrecFloat& b) {
+        return PrecFloat((a.v_ - b.v_).round(Prec), kRaw);
+    }
+    friend PrecFloat operator*(const PrecFloat& a, const PrecFloat& b) {
+        return PrecFloat((a.v_ * b.v_).round(Prec), kRaw);
+    }
+    friend PrecFloat operator/(const PrecFloat& a, const PrecFloat& b) {
+        return PrecFloat(BigFloat::div(a.v_, b.v_, Prec), kRaw);
+    }
+    PrecFloat operator-() const { return PrecFloat(-v_, kRaw); }
+
+    PrecFloat& operator+=(const PrecFloat& o) { return *this = *this + o; }
+    PrecFloat& operator-=(const PrecFloat& o) { return *this = *this - o; }
+    PrecFloat& operator*=(const PrecFloat& o) { return *this = *this * o; }
+    PrecFloat& operator/=(const PrecFloat& o) { return *this = *this / o; }
+
+    friend PrecFloat sqrt(const PrecFloat& a) {
+        return PrecFloat(BigFloat::sqrt(a.v_, Prec), kRaw);
+    }
+
+    friend bool operator==(const PrecFloat& a, const PrecFloat& b) {
+        return BigFloat::cmp(a.v_, b.v_) == 0;
+    }
+    friend bool operator<(const PrecFloat& a, const PrecFloat& b) {
+        return BigFloat::cmp(a.v_, b.v_) < 0;
+    }
+
+private:
+    struct Raw {};
+    static constexpr Raw kRaw{};
+    PrecFloat(BigFloat v, Raw) : v_(std::move(v)) {}
+
+    BigFloat v_;
+};
+
+}  // namespace mf::big

@@ -1,0 +1,32 @@
+#pragma once
+// The paper's six FPANs (Figures 2-7) as checkable Network data, mirroring
+// gate-for-gate the hand-inlined kernels in mf/add.hpp and mf/mul.hpp.
+// tests/fpan_consistency_test.cpp verifies bit-exact agreement between the
+// two representations on randomized inputs.
+
+#include "network.hpp"
+
+namespace mf::fpan {
+
+/// Addition network for n-term expansions (n = 2, 3, 4).
+/// Wires 0..2n-1 carry the interleaved inputs [x0, y0, x1, y1, ...].
+/// n = 2 is the provably optimal Figure-2 network.
+[[nodiscard]] Network make_add_network(int n);
+
+/// Accumulation network for commutative n-term multiplication (n = 2, 3, 4).
+/// The caller performs the TwoProd expansion step; wires carry the product
+/// terms in the layout documented per-case in library.cpp.
+[[nodiscard]] Network make_mul_network(int n);
+
+/// Input wire labels matching make_mul_network(n)'s layout, for diagrams and
+/// for building the wire vector from the TwoProd expansion step.
+[[nodiscard]] std::vector<std::string> mul_network_labels(int n);
+
+/// The naive term-by-term sum of Eq. 9 -- intentionally WRONG (degrades to
+/// machine precision); used to demonstrate that the checker rejects it.
+[[nodiscard]] Network make_naive_add_network(int n);
+
+/// All six paper networks, for tools and tests.
+[[nodiscard]] std::vector<Network> paper_networks();
+
+}  // namespace mf::fpan

@@ -1,0 +1,72 @@
+#pragma once
+// Floating-point accumulation networks (FPANs) as first-class data.
+//
+// An FPAN (paper §3) is a branch-free algorithm given by a fixed sequence of
+// gates applied to a fixed set of wires. Three gate kinds exist:
+//
+//   Add:         w[a] <- w[a] (+) w[b]; the rounding error is DISCARDED and
+//                wire b goes dead (set to zero).
+//   TwoSum:      (w[a], w[b]) <- TwoSum(w[a], w[b])        (error-free)
+//   FastTwoSum:  (w[a], w[b]) <- FastTwoSum(w[a], w[b])    (error-free,
+//                requires exponent(w[a]) >= exponent(w[b]) or either zero)
+//
+// Keeping networks as data (alongside the hand-inlined kernels in mf/) lets
+// us (1) verify them with the empirical checker over SoftFloat/BigFloat,
+// (2) search for new ones by simulated annealing, (3) print the paper's
+// Figure 2-7 style diagrams, and (4) cross-check that the fast kernels
+// compute gate-for-gate the same thing (tests/fpan_consistency_test.cpp).
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mf::fpan {
+
+enum class GateKind : std::uint8_t {
+    Add,         ///< rounded sum, error discarded
+    TwoSum,      ///< error-free transform, any magnitudes
+    FastTwoSum,  ///< error-free transform, |w[a]| must dominate
+};
+
+struct Gate {
+    GateKind kind;
+    int a;  ///< first wire (receives the sum)
+    int b;  ///< second wire (receives the error; dead after an Add gate)
+
+    friend bool operator==(const Gate&, const Gate&) = default;
+};
+
+struct Network {
+    std::string name;
+    int num_wires = 0;
+    std::vector<Gate> gates;
+    std::vector<int> outputs;  ///< wire indices, most significant first
+
+    /// Total number of gates (the paper's "size").
+    [[nodiscard]] int size() const noexcept { return static_cast<int>(gates.size()); }
+
+    /// Longest gate chain from any input to any output (the paper's "depth").
+    [[nodiscard]] int depth() const noexcept;
+
+    /// Count of error-discarding Add gates.
+    [[nodiscard]] int num_discards() const noexcept;
+
+    /// Structural sanity: wire indices in range, outputs distinct and live.
+    [[nodiscard]] bool well_formed() const noexcept;
+
+    /// Compact single-line text form:
+    ///   "name wires=W out=o1,o2 : T(a,b) F(a,b) A(a,b) ..."
+    [[nodiscard]] std::string serialize() const;
+    static Network parse(const std::string& text);
+
+    /// Multi-line ASCII art in the style of the paper's figures.
+    [[nodiscard]] std::string diagram(std::span<const std::string> wire_labels = {}) const;
+
+    friend bool operator==(const Network&, const Network&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Network& n);
+
+}  // namespace mf::fpan

@@ -1,0 +1,210 @@
+#include "search.hpp"
+
+#include <cmath>
+#include <random>
+
+#include "checker.hpp"
+
+namespace mf::fpan {
+
+namespace {
+
+/// Candidate cost: continuous accuracy signal (bits of error above the
+/// target bound, worst case over the campaign) dominates; among
+/// fully-passing networks, prefer small size, then shallow depth.
+double cost_of(const Network& net, int n, long long trials, std::uint64_t seed,
+               int bound_bits) {
+    if (!net.well_formed()) return 1e12;
+    const CheckResult r = measure_add_random(net, n, trials, seed, bound_bits);
+    double cost = net.size() + 0.1 * net.depth();
+    if (!r.pass) {
+        const double excess =
+            r.worst_err_log2 <= -1e8
+                ? 0.0
+                : std::max(0.0, r.worst_err_log2 + static_cast<double>(bound_bits));
+        cost += 1e3 + 40.0 * excess + 200.0 * r.worst_overlap_bits;
+        if (!r.note.empty()) cost += 500.0;  // error against an exact-zero sum
+    }
+    return cost;
+}
+
+/// By convention the search fixes outputs to the operand wires of the final
+/// non-Add gate (most networks route their results there); candidates whose
+/// final gate is an Add are completed with outputs on its sum wire plus the
+/// previous error wire, which well_formed() will often reject -- that is
+/// intentional pressure toward clean endings.
+void assign_outputs(Network& net, int n) {
+    net.outputs.clear();
+    if (net.gates.empty()) return;
+    const Gate& last = net.gates.back();
+    net.outputs.push_back(last.a);
+    net.outputs.push_back(last.b);
+    // For n > 2, extend with the sum wires of preceding gates.
+    for (auto it = net.gates.rbegin() + 1;
+         it != net.gates.rend() && static_cast<int>(net.outputs.size()) < n; ++it) {
+        bool fresh = true;
+        for (int o : net.outputs) fresh = fresh && o != it->a;
+        if (fresh) net.outputs.insert(net.outputs.begin(), it->a);
+    }
+    if (static_cast<int>(net.outputs.size()) > n) net.outputs.resize(static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+SearchOutcome anneal_add_network(const SearchOptions& opts) {
+    SearchOutcome out;
+    std::mt19937_64 rng(opts.seed);
+    const int wires = 2 * opts.n;
+    const int bound = paper_add_bound_bits(opts.n, 53);
+    std::uniform_int_distribution<int> wire_dist(0, wires - 1);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+    Network cur;
+    cur.name = "candidate";
+    cur.num_wires = wires;
+    double cur_cost = 1e12;
+    Network best;
+    double best_cost = 1e12;
+
+    const auto random_gate = [&]() -> Gate {
+        const double k = unit(rng);
+        const GateKind kind = k < 0.70   ? GateKind::TwoSum
+                              : k < 0.85 ? GateKind::FastTwoSum
+                                         : GateKind::Add;
+        int a = wire_dist(rng);
+        int b = wire_dist(rng);
+        while (b == a) b = wire_dist(rng);
+        return {kind, a, b};
+    };
+
+    for (long long it = 0; it < opts.iterations; ++it) {
+        const double frac = static_cast<double>(it) / static_cast<double>(opts.iterations);
+        const double temp = opts.t_start * std::pow(opts.t_end / opts.t_start, frac);
+        // Removal probability ramps up over time (paper's schedule).
+        const double p_remove = cur.gates.empty() ? 0.0 : 0.15 + 0.35 * frac;
+
+        Network cand = cur;
+        const double move = unit(rng);
+        if (move < p_remove) {
+            const auto idx = static_cast<std::size_t>(rng() % cand.gates.size());
+            cand.gates.erase(cand.gates.begin() + static_cast<std::ptrdiff_t>(idx));
+        } else if (move < p_remove + 0.2 && !cand.gates.empty()) {
+            // Mutate one gate in place.
+            const auto idx = static_cast<std::size_t>(rng() % cand.gates.size());
+            cand.gates[idx] = random_gate();
+        } else if (static_cast<int>(cand.gates.size()) < opts.max_gates) {
+            const auto pos = static_cast<std::size_t>(rng() % (cand.gates.size() + 1));
+            cand.gates.insert(cand.gates.begin() + static_cast<std::ptrdiff_t>(pos),
+                              random_gate());
+        } else {
+            continue;
+        }
+        assign_outputs(cand, opts.n);
+        const double cand_cost =
+            cost_of(cand, opts.n, opts.score_trials, opts.seed ^ 0x9e3779b97f4a7c15ULL, bound);
+        ++out.candidates_checked;
+        const double delta = cand_cost - cur_cost;
+        if (delta <= 0 || unit(rng) < std::exp(-delta / (temp * 100.0))) {
+            cur = std::move(cand);
+            cur_cost = cand_cost;
+        }
+        // The scoring campaign is deliberately small (it runs tens of
+        // thousands of times), so candidates overfit it; promote a candidate
+        // to "best" only after it survives the real verifier. This mirrors
+        // the paper's two-stage design: cheap testing filters candidates,
+        // full verification confirms them.
+        if (cur_cost < 1e3 && cur_cost < best_cost) {
+            const bool verified =
+                check_add_random(cur, opts.n, 3000, opts.seed + 13, bound).pass &&
+                (opts.n > 2 || check_add_exhaustive(cur, opts.n, 3, 2, 3).pass);
+            if (verified) {
+                best = cur;
+                best_cost = cur_cost;
+                if (opts.progress) opts.progress(it, best_cost, best.size());
+            } else {
+                // Verified-failing candidate: penalize so the walk moves on.
+                cur_cost += 50.0;
+            }
+        }
+    }
+    out.iterations = opts.iterations;
+    if (best_cost < 1e3) {
+        // Final acceptance: a larger randomized campaign plus the exhaustive
+        // small-p sweep must both pass.
+        const bool big_ok =
+            check_add_random(best, opts.n, opts.verify_trials, opts.seed + 7, bound).pass;
+        const bool exhaustive_ok =
+            opts.n > 2 || check_add_exhaustive(best, opts.n, 3, 3, 5).pass;
+        if (big_ok && exhaustive_ok) {
+            best.name = "annealed_add" + std::to_string(opts.n);
+            out.best = std::move(best);
+        }
+    }
+    return out;
+}
+
+namespace {
+
+bool trim_verify(const Network& net, const TrimOptions& o) {
+    if (!net.well_formed()) return false;
+    if (o.is_mul) {
+        if (!check_mul_random(net, o.n, o.trials, o.seed, paper_mul_bound_bits(o.n, 53)).pass)
+            return false;
+        if (o.exhaustive && o.n == 2 && !check_mul_exhaustive(net, o.n, 3, 2, 3).pass)
+            return false;
+        return true;
+    }
+    if (!check_add_random(net, o.n, o.trials, o.seed, paper_add_bound_bits(o.n, 53)).pass)
+        return false;
+    if (o.exhaustive) {
+        if (o.n == 2 && !check_add_exhaustive(net, o.n, 3, 3, 4).pass) return false;
+        if (o.n == 3 &&
+            !check_add_exhaustive(net, o.n, 3, o.y_exp_range, o.tail_depth).pass)
+            return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+Network greedy_trim(Network net, const TrimOptions& opts) {
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Pass 1: try outright deletions, scanning from the end (later gates
+        // are more often redundant cleanup).
+        for (std::size_t i = net.gates.size(); i-- > 0;) {
+            Network cand = net;
+            cand.gates.erase(cand.gates.begin() + static_cast<std::ptrdiff_t>(i));
+            if (trim_verify(cand, opts)) {
+                net = std::move(cand);
+                changed = true;
+            }
+        }
+        // Pass 2: demote error-free gates to cheaper kinds
+        // (TwoSum -> FastTwoSum -> Add).
+        for (std::size_t i = 0; i < net.gates.size(); ++i) {
+            if (net.gates[i].kind == GateKind::TwoSum) {
+                Network cand = net;
+                cand.gates[i].kind = GateKind::FastTwoSum;
+                if (trim_verify(cand, opts)) {
+                    net = std::move(cand);
+                    changed = true;
+                    continue;
+                }
+            }
+            if (net.gates[i].kind != GateKind::Add) {
+                Network cand = net;
+                cand.gates[i].kind = GateKind::Add;
+                if (trim_verify(cand, opts)) {
+                    net = std::move(cand);
+                    changed = true;
+                }
+            }
+        }
+    }
+    net.name += "_trimmed";
+    return net;
+}
+
+}  // namespace mf::fpan

@@ -1,0 +1,61 @@
+#pragma once
+// Simulated-annealing search for FPANs (paper §4.1: "random TwoSum gates
+// were added to an empty FPAN until it passed the automatic verification
+// procedure; then random gates were added and removed, with the probability
+// of removal gradually adjusted upwards over time").
+//
+// This is a laptop-scale reproduction of the discovery procedure: the
+// verifier is the empirical checker (checker.hpp) rather than the SMT proof,
+// and the demonstration target is the 2-term addition network, which the
+// paper proves optimal at size 6. tests/fpan_search_test.cpp re-discovers a
+// correct network; tools/fpan_inspect --search runs longer campaigns.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "network.hpp"
+
+namespace mf::fpan {
+
+struct SearchOptions {
+    int n = 2;                  ///< expansion terms (network has 2n input wires)
+    int max_gates = 12;         ///< hard cap on candidate size
+    long long iterations = 20000;
+    std::uint64_t seed = 1;
+    long long score_trials = 400;   ///< randomized-check budget per candidate
+    long long verify_trials = 20000;  ///< final acceptance budget
+    double t_start = 3.0;       ///< Metropolis temperature schedule
+    double t_end = 0.05;
+    /// Optional progress sink: called with (iteration, best_cost, best_size).
+    std::function<void(long long, double, int)> progress;
+};
+
+struct SearchOutcome {
+    std::optional<Network> best;  ///< passing network, if any was found
+    long long iterations = 0;
+    long long candidates_checked = 0;
+};
+
+/// Run the annealing loop for an n-term addition network. Returns the
+/// smallest network found that passes both the randomized campaign and the
+/// exhaustive small-p check.
+[[nodiscard]] SearchOutcome anneal_add_network(const SearchOptions& opts);
+
+/// Greedy gate-removal minimization of a known-correct network: repeatedly
+/// try deleting each gate (and demoting TwoSum gates to plain Adds), keeping
+/// any change that still passes the verification campaign. This is the
+/// "remove random gates subject to the FPAN still passing verification" half
+/// of the paper's search procedure, made deterministic.
+struct TrimOptions {
+    int n = 3;
+    long long trials = 50000;       ///< randomized campaign per candidate
+    std::uint64_t seed = 1;
+    bool exhaustive = true;         ///< also require small-p exhaustion (n<=3)
+    bool is_mul = false;            ///< verify as multiplication network
+    int y_exp_range = 1;            ///< exhaustive window: y lead exponents
+    int tail_depth = 1;             ///< exhaustive window: tail depth
+};
+[[nodiscard]] Network greedy_trim(Network net, const TrimOptions& opts);
+
+}  // namespace mf::fpan

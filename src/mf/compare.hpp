@@ -1,0 +1,85 @@
+#pragma once
+// Exact comparisons of expansions.
+//
+// Nonoverlapping expansions are not canonical at representation boundaries
+// (e.g. (1, +ulp/2) and (1+ulp, -ulp/2) encode the same real), so limb-wise
+// lexicographic comparison is unsound. We instead compare via the exact sign
+// of the branch-free difference: sub() is correct to 2^-(Np-N+1), far finer
+// than representation granularity, and its leading limb carries the sign of
+// the exact difference whenever the difference is nonzero.
+
+#include "add.hpp"
+#include "multifloat.hpp"
+
+namespace mf {
+
+/// Three-way comparison: -1 if x < y, 0 if x == y, +1 if x > y.
+template <FloatingPoint T, int N>
+[[nodiscard]] int cmp(const MultiFloat<T, N>& x, const MultiFloat<T, N>& y) noexcept {
+    const MultiFloat<T, N> d = sub(x, y);
+    return (d.limb[0] > T(0)) - (d.limb[0] < T(0));
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] bool operator==(const MultiFloat<T, N>& x, const MultiFloat<T, N>& y) noexcept {
+    return cmp(x, y) == 0;
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] bool operator!=(const MultiFloat<T, N>& x, const MultiFloat<T, N>& y) noexcept {
+    return cmp(x, y) != 0;
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] bool operator<(const MultiFloat<T, N>& x, const MultiFloat<T, N>& y) noexcept {
+    return cmp(x, y) < 0;
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] bool operator>(const MultiFloat<T, N>& x, const MultiFloat<T, N>& y) noexcept {
+    return cmp(x, y) > 0;
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] bool operator<=(const MultiFloat<T, N>& x, const MultiFloat<T, N>& y) noexcept {
+    return cmp(x, y) <= 0;
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] bool operator>=(const MultiFloat<T, N>& x, const MultiFloat<T, N>& y) noexcept {
+    return cmp(x, y) >= 0;
+}
+
+// Scalar overloads (widen the scalar, which is exact).
+
+template <FloatingPoint T, int N>
+[[nodiscard]] int cmp(const MultiFloat<T, N>& x, T y) noexcept {
+    return cmp(x, MultiFloat<T, N>(y));
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] bool operator==(const MultiFloat<T, N>& x, T y) noexcept {
+    return cmp(x, y) == 0;
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] bool operator<(const MultiFloat<T, N>& x, T y) noexcept {
+    return cmp(x, y) < 0;
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] bool operator>(const MultiFloat<T, N>& x, T y) noexcept {
+    return cmp(x, y) > 0;
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] bool operator<=(const MultiFloat<T, N>& x, T y) noexcept {
+    return cmp(x, y) <= 0;
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] bool operator>=(const MultiFloat<T, N>& x, T y) noexcept {
+    return cmp(x, y) >= 0;
+}
+
+}  // namespace mf

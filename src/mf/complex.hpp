@@ -1,0 +1,96 @@
+#pragma once
+// Complex arithmetic over expansions -- the application domain where §4.2's
+// commutativity guarantee matters: with a commutative multiplier, the
+// conjugate product (a+bi)(a-bi) has an EXACTLY zero imaginary part, so
+// complex magnitudes and Hermitian reductions stay real. (The paper notes
+// that non-commutative multipliers leave a small nonzero imaginary residue
+// that "severely degrades the performance of certain numerical algorithms,
+// such as eigensolvers".)
+
+#include "add.hpp"
+#include "compare.hpp"
+#include "div_sqrt.hpp"
+#include "mul.hpp"
+#include "multifloat.hpp"
+
+namespace mf {
+
+template <FloatingPoint T, int N>
+struct Complex {
+    using value_type = MultiFloat<T, N>;
+
+    MultiFloat<T, N> re{};
+    MultiFloat<T, N> im{};
+
+    constexpr Complex() = default;
+    Complex(const MultiFloat<T, N>& r) : re(r) {}
+    Complex(const MultiFloat<T, N>& r, const MultiFloat<T, N>& i) : re(r), im(i) {}
+    Complex(T r, T i = T(0)) : re(r), im(i) {}
+};
+
+template <FloatingPoint T, int N>
+[[nodiscard]] Complex<T, N> conj(const Complex<T, N>& z) {
+    return {z.re, -z.im};
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] Complex<T, N> operator+(const Complex<T, N>& a, const Complex<T, N>& b) {
+    return {add(a.re, b.re), add(a.im, b.im)};
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] Complex<T, N> operator-(const Complex<T, N>& a, const Complex<T, N>& b) {
+    return {sub(a.re, b.re), sub(a.im, b.im)};
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] Complex<T, N> operator-(const Complex<T, N>& a) {
+    return {-a.re, -a.im};
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] Complex<T, N> operator*(const Complex<T, N>& a, const Complex<T, N>& b) {
+    // (ar br - ai bi) + (ar bi + ai br) i -- with the commutative multiplier
+    // this expression is symmetric under conjugation, so z * conj(z) is
+    // exactly real (tests/complex_test.cpp).
+    return {sub(mul(a.re, b.re), mul(a.im, b.im)),
+            add(mul(a.re, b.im), mul(a.im, b.re))};
+}
+
+/// |z|^2 = z * conj(z), computed as an exactly-real quantity.
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> norm(const Complex<T, N>& z) {
+    return add(mul(z.re, z.re), mul(z.im, z.im));
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> abs(const Complex<T, N>& z) {
+    return sqrt(norm(z));
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] Complex<T, N> operator/(const Complex<T, N>& a, const Complex<T, N>& b) {
+    const MultiFloat<T, N> inv = recip(norm(b));
+    const Complex<T, N> num = a * conj(b);
+    return {mul(num.re, inv), mul(num.im, inv)};
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] bool operator==(const Complex<T, N>& a, const Complex<T, N>& b) {
+    return a.re == b.re && a.im == b.im;
+}
+
+template <FloatingPoint T, int N>
+Complex<T, N>& operator+=(Complex<T, N>& a, const Complex<T, N>& b) {
+    return a = a + b;
+}
+template <FloatingPoint T, int N>
+Complex<T, N>& operator*=(Complex<T, N>& a, const Complex<T, N>& b) {
+    return a = a * b;
+}
+
+using Complex64x2 = Complex<double, 2>;
+using Complex64x3 = Complex<double, 3>;
+using Complex64x4 = Complex<double, 4>;
+
+}  // namespace mf

@@ -1,0 +1,66 @@
+#pragma once
+// Conversions between MultiFloat expansions and the BigFloat software FPU:
+// exact embedding, round-and-subtract decomposition (Eq. 6 of the paper),
+// and decimal string I/O.
+//
+// Header-only templates; link against the `bigfloat` library.
+
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "../bigfloat/bigfloat.hpp"
+#include "multifloat.hpp"
+
+namespace mf {
+
+/// Exact value of an expansion as a BigFloat (no rounding).
+template <FloatingPoint T, int N>
+[[nodiscard]] big::BigFloat to_bigfloat(const MultiFloat<T, N>& x) {
+    big::BigFloat acc;
+    for (int i = 0; i < N; ++i) {
+        acc = acc + big::BigFloat::from_double(static_cast<double>(x.limb[i]));
+    }
+    return acc;
+}
+
+/// Decompose a high-precision constant C into a nonoverlapping expansion via
+/// successive round-and-subtract (Eq. 6):
+///   x_0 = RN_p(C), x_1 = RN_p(C - x_0), ...
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> from_bigfloat(const big::BigFloat& c) {
+    constexpr int p = std::numeric_limits<T>::digits;
+    MultiFloat<T, N> x;
+    big::BigFloat r = c;
+    for (int i = 0; i < N; ++i) {
+        const double xi = r.round(p).to_double();
+        x.limb[i] = static_cast<T>(xi);  // exact: xi has <= p significant bits
+        r = r - big::BigFloat::from_double(static_cast<double>(x.limb[i]));
+    }
+    return x;
+}
+
+/// Parse a decimal string, correctly rounded to the expansion's precision.
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> from_string(const std::string& s) {
+    const auto c = big::BigFloat::from_string(s, MultiFloat<T, N>::precision + 8);
+    return from_bigfloat<T, N>(c);
+}
+
+/// Decimal rendering with (by default) the expansion's full decimal width.
+template <FloatingPoint T, int N>
+[[nodiscard]] std::string to_string(const MultiFloat<T, N>& x, int digits10 = 0) {
+    if (digits10 <= 0) {
+        digits10 = static_cast<int>(MultiFloat<T, N>::precision * 0.30103) + 1;
+    }
+    const auto b = to_bigfloat(x);
+    if (b.is_zero()) return "0";
+    return b.to_string(digits10);
+}
+
+template <FloatingPoint T, int N>
+std::ostream& operator<<(std::ostream& os, const MultiFloat<T, N>& x) {
+    return os << to_string(x);
+}
+
+}  // namespace mf

@@ -1,0 +1,102 @@
+#pragma once
+// Error-free transformations (EFTs): the primitive building blocks of all
+// floating-point accumulation networks (FPANs).
+//
+// An EFT computes both a correctly rounded floating-point operation and the
+// *exact* rounding error incurred by that operation, using only rounded
+// machine-precision arithmetic. See Algorithms 1-3 of Zhang & Aiken (SC'25),
+// and the original sources: Moller (1965) / Knuth (1969) for TwoSum, Dekker
+// (1971) for FastTwoSum and TwoProd.
+//
+// All functions here are branch-free straight-line code and are valid for any
+// IEEE binary format (float, double, ...) under round-to-nearest-even,
+// provided no intermediate overflows and inputs are finite.
+
+#include <cmath>
+#include <concepts>
+#include <utility>
+
+/// The FPAN kernels must inline completely: a leftover call defeats the loop
+/// vectorizer in the data-parallel BLAS kernels (the whole point of being
+/// branch-free). GCC stops inlining around the 4-term multiplier's size on
+/// its own, so the hot path is annotated explicitly.
+#define MF_ALWAYS_INLINE inline __attribute__((always_inline))
+
+namespace mf {
+
+/// Constrains the scalar base types our networks operate on.
+/// (Extendable to e.g. __float128 or a software float that models IEEE RNE.)
+template <typename T>
+concept FloatingPoint = std::floating_point<T>;
+
+/// Result pair of an error-free addition: `sum` is the correctly rounded
+/// sum and `err` the exact rounding error, so that sum + err == a + b
+/// exactly (as real numbers).
+template <FloatingPoint T>
+struct SumErr {
+    T sum;
+    T err;
+};
+
+/// Result pair of an error-free multiplication: `prod` is the correctly
+/// rounded product and `err` the exact rounding error, so that
+/// prod + err == a * b exactly.
+template <FloatingPoint T>
+struct ProdErr {
+    T prod;
+    T err;
+};
+
+/// TwoSum (Algorithm 1): 6-flop error-free addition, valid for all finite
+/// inputs regardless of their relative magnitudes.
+///
+/// Returns (s, e) with s = RN(a + b) and e = (a + b) - s exactly.
+template <FloatingPoint T>
+[[nodiscard]] MF_ALWAYS_INLINE constexpr SumErr<T> two_sum(T a, T b) noexcept {
+    const T s = a + b;
+    const T a_eff = s - b;   // the portion of s contributed by a
+    const T b_eff = s - a_eff;
+    const T da = a - a_eff;  // exact: what a lost
+    const T db = b - b_eff;  // exact: what b lost
+    return {s, da + db};
+}
+
+/// FastTwoSum (Algorithm 3): 3-flop error-free addition, valid only when
+/// a == +-0.0, b == +-0.0, or exponent(a) >= exponent(b). In particular it is
+/// safe whenever |a| >= |b|.
+///
+/// Returns (s, e) with s = RN(a + b) and e = (a + b) - s exactly.
+template <FloatingPoint T>
+[[nodiscard]] MF_ALWAYS_INLINE constexpr SumErr<T> fast_two_sum(T a, T b) noexcept {
+    const T s = a + b;
+    const T b_eff = s - a;   // exact under the precondition
+    return {s, b - b_eff};
+}
+
+/// TwoProd (Algorithm 2): FMA-based error-free multiplication.
+///
+/// Returns (p, e) with p = RN(a * b) and e = a*b - p exactly (barring
+/// intermediate under/overflow).
+template <FloatingPoint T>
+[[nodiscard]] MF_ALWAYS_INLINE ProdErr<T> two_prod(T a, T b) noexcept {
+    const T p = a * b;
+    return {p, std::fma(a, b, -p)};
+}
+
+/// ThreeSum: error-free compression of three addends into a leading part and
+/// two error terms. Used as a convenience in multiplication networks.
+/// Returns (s0, s1, s2) with s0 + s1 + s2 == a + b + c exactly and
+/// s0 = RN(RN(a+b)+c).
+template <FloatingPoint T>
+struct TripleErr {
+    T s0, s1, s2;
+};
+
+template <FloatingPoint T>
+[[nodiscard]] constexpr TripleErr<T> three_sum(T a, T b, T c) noexcept {
+    const auto [t, e1] = two_sum(a, b);
+    const auto [s, e2] = two_sum(t, c);
+    return {s, e1, e2};
+}
+
+}  // namespace mf

@@ -1,0 +1,56 @@
+#pragma once
+// std::numeric_limits specialization for MultiFloat<T, N>.
+//
+// Note the paper's §4.4 caveats: expansions extend precision, not exponent
+// range, so min/max/infinity mirror the base type; and the effective
+// overflow threshold is one machine epsilon narrower than the base type's.
+
+#include <limits>
+
+#include "multifloat.hpp"
+
+namespace std {
+
+template <mf::FloatingPoint T, int N>
+struct numeric_limits<mf::MultiFloat<T, N>> {
+    using MF = mf::MultiFloat<T, N>;
+    using base = numeric_limits<T>;
+
+    static constexpr bool is_specialized = true;
+    static constexpr bool is_signed = true;
+    static constexpr bool is_integer = false;
+    static constexpr bool is_exact = false;
+    static constexpr bool has_infinity = base::has_infinity;
+    static constexpr bool has_quiet_NaN = base::has_quiet_NaN;
+    static constexpr bool has_signaling_NaN = false;
+    static constexpr bool is_iec559 = false;  // see paper §4.4
+    static constexpr bool is_bounded = true;
+    static constexpr bool is_modulo = false;
+    static constexpr int radix = 2;
+    static constexpr float_round_style round_style = round_to_nearest;
+
+    /// Effective precision in bits: N*p + N - 1 (Eq. 7 of the paper).
+    static constexpr int digits = MF::precision;
+    static constexpr int digits10 = static_cast<int>(digits * 0.30102999566398);
+    static constexpr int max_exponent = base::max_exponent;
+    static constexpr int min_exponent =
+        base::min_exponent + (N - 1) * base::digits;  // full-precision floor
+
+    static constexpr MF min() noexcept { return MF(base::min()); }
+    static constexpr MF lowest() noexcept { return MF(base::lowest()); }
+    static constexpr MF max() noexcept { return MF(base::max()); }
+    static constexpr MF infinity() noexcept { return MF(base::infinity()); }
+    static constexpr MF quiet_NaN() noexcept { return MF(base::quiet_NaN()); }
+    static constexpr MF denorm_min() noexcept { return MF(base::denorm_min()); }
+
+    /// One unit in the last place of 1.0 at the extended precision.
+    static MF epsilon() noexcept {
+        MF e(T(1));
+        for (int i = 0; i < digits - 1; ++i) e.limb[0] /= T(2);
+        return e;
+    }
+
+    static MF round_error() noexcept { return MF(T(0.5)); }
+};
+
+}  // namespace std

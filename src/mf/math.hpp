@@ -1,0 +1,70 @@
+#pragma once
+// Assorted mathematical utilities on expansions.
+
+#include <cstdint>
+
+#include "add.hpp"
+#include "compare.hpp"
+#include "div_sqrt.hpp"
+#include "mul.hpp"
+#include "multifloat.hpp"
+
+namespace mf {
+
+/// |x|. Sign flip of every limb is exact; the branch is on the leading limb
+/// only (the expansion's sign is the sign of limb[0]).
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> abs(const MultiFloat<T, N>& x) noexcept {
+    return (x.limb[0] < T(0)) ? -x : x;
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> fabs(const MultiFloat<T, N>& x) noexcept {
+    return abs(x);
+}
+
+/// Fused multiply-add at extended precision: x*y + z (not a single rounding,
+/// but correct to the expansion's working accuracy).
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> fma(const MultiFloat<T, N>& x,
+                                   const MultiFloat<T, N>& y,
+                                   const MultiFloat<T, N>& z) noexcept {
+    return add(mul(x, y), z);
+}
+
+/// Integer power by binary exponentiation. powi(0, 0) == 1.
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> powi(MultiFloat<T, N> base, std::int64_t e) noexcept {
+    const bool invert = e < 0;
+    std::uint64_t k = invert ? static_cast<std::uint64_t>(-(e + 1)) + 1
+                             : static_cast<std::uint64_t>(e);
+    MultiFloat<T, N> acc(T(1));
+    while (k != 0) {
+        if (k & 1) acc = mul(acc, base);
+        base = mul(base, base);
+        k >>= 1;
+    }
+    return invert ? recip(acc) : acc;
+}
+
+/// Squaring (uses the general commutative multiply; a dedicated squaring
+/// network would save the commutativity layer but is not in the paper).
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> sqr(const MultiFloat<T, N>& x) noexcept {
+    return mul(x, x);
+}
+
+/// min/max by exact comparison.
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> min(const MultiFloat<T, N>& x,
+                                   const MultiFloat<T, N>& y) noexcept {
+    return (cmp(x, y) <= 0) ? x : y;
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> max(const MultiFloat<T, N>& x,
+                                   const MultiFloat<T, N>& y) noexcept {
+    return (cmp(x, y) >= 0) ? x : y;
+}
+
+}  // namespace mf

@@ -1,0 +1,92 @@
+#pragma once
+// Polynomial evaluation and root polishing at extended precision -- the
+// classic consumer of cheap high-precision arithmetic (ill-conditioned
+// polynomials like Wilkinson's are the textbook case where double-precision
+// Horner loses every digit near a root).
+//
+//   mf::poly::horner(coeffs, x)            Horner evaluation, MF throughout
+//   mf::poly::horner_compensated(c, x)     double coefficients, double x,
+//                                          MultiFloat<double, N> result --
+//                                          an error-free-transform Horner
+//                                          (compensated to N-term precision)
+//   mf::poly::newton_polish(coeffs, x0)    refine a root estimate
+//
+// The compensated Horner uses TwoProd/TwoSum per step and accumulates the
+// error terms in an expansion: the EFT-based scheme of the compensated-
+// algorithms literature, carried to full N-term precision.
+
+#include <span>
+
+#include "add.hpp"
+#include "div_sqrt.hpp"
+#include "eft.hpp"
+#include "mul.hpp"
+#include "multifloat.hpp"
+
+namespace mf::poly {
+
+/// p(x) with coefficients c[0] + c[1] x + ... + c[d] x^d, all in MF.
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> horner(std::span<const MultiFloat<T, N>> c,
+                                      const MultiFloat<T, N>& x) {
+    if (c.empty()) return MultiFloat<T, N>{};
+    MultiFloat<T, N> acc = c.back();
+    for (std::size_t i = c.size() - 1; i-- > 0;) {
+        acc = add(mul(acc, x), c[i]);
+    }
+    return acc;
+}
+
+/// p(x) and p'(x) in one sweep (for Newton).
+template <FloatingPoint T, int N>
+struct EvalDeriv {
+    MultiFloat<T, N> value;
+    MultiFloat<T, N> deriv;
+};
+
+template <FloatingPoint T, int N>
+[[nodiscard]] EvalDeriv<T, N> horner_with_derivative(
+    std::span<const MultiFloat<T, N>> c, const MultiFloat<T, N>& x) {
+    EvalDeriv<T, N> r{};
+    if (c.empty()) return r;
+    r.value = c.back();
+    for (std::size_t i = c.size() - 1; i-- > 0;) {
+        r.deriv = add(mul(r.deriv, x), r.value);
+        r.value = add(mul(r.value, x), c[i]);
+    }
+    return r;
+}
+
+/// Compensated Horner: machine-precision coefficients and argument, N-term
+/// result. Each Horner step's product and sum run through error-free
+/// transformations; the main chain stays in machine precision (fast) while
+/// the error stream accumulates in an expansion, which at the end corrects
+/// the machine result to N-term accuracy.
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> horner_compensated(std::span<const T> c, T x) {
+    if (c.empty()) return MultiFloat<T, N>{};
+    T h = c.back();
+    MultiFloat<T, N> err{};
+    for (std::size_t i = c.size() - 1; i-- > 0;) {
+        const auto [p, ep] = two_prod(h, x);
+        const auto [s, es] = two_sum(p, c[i]);
+        h = s;
+        // err <- err*x + (ep + es), at expansion precision.
+        err = add(mul(err, MultiFloat<T, N>(x)), add(MultiFloat<T, N>(ep), es));
+    }
+    return add(err, h);
+}
+
+/// Newton refinement of a root estimate at full working precision.
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> newton_polish(std::span<const MultiFloat<T, N>> c,
+                                             MultiFloat<T, N> x, int iterations = 4) {
+    for (int it = 0; it < iterations; ++it) {
+        const auto [v, d] = horner_with_derivative(c, x);
+        if (d.is_zero()) break;
+        x = sub(x, div(v, d));
+    }
+    return x;
+}
+
+}  // namespace mf::poly

@@ -1,0 +1,39 @@
+#pragma once
+// Random generation of expansions, for tests and benchmark workloads.
+
+#include <cstdint>
+#include <random>
+
+#include "add.hpp"
+#include "mul.hpp"
+#include "multifloat.hpp"
+
+namespace mf {
+
+/// Uniform value in [0, 1) carrying full N*p-bit entropy: each limb draws a
+/// fresh p-bit significand at the appropriate scale, then the result is
+/// renormalized through the addition network.
+template <FloatingPoint T, int N, typename URBG>
+[[nodiscard]] MultiFloat<T, N> random_unit(URBG& rng) {
+    constexpr int p = std::numeric_limits<T>::digits;
+    std::uniform_real_distribution<T> dist(T(0), T(1));
+    MultiFloat<T, N> r(dist(rng));
+    for (int i = 1; i < N; ++i) {
+        r = add(r, std::ldexp(dist(rng), -i * p));
+    }
+    return r;
+}
+
+/// Random value with log-uniform magnitude in [2^emin, 2^emax) and random
+/// sign: the adversarial distribution used throughout the test suite.
+template <FloatingPoint T, int N, typename URBG>
+[[nodiscard]] MultiFloat<T, N> random_signed(URBG& rng, int emin = -8, int emax = 8) {
+    std::uniform_int_distribution<int> edist(emin, emax);
+    std::bernoulli_distribution sign;
+    MultiFloat<T, N> r = random_unit<T, N>(rng);
+    r = add(r, T(1));  // keep the leading limb away from zero
+    MultiFloat<T, N> scaled = ldexp(r, edist(rng));
+    return sign(rng) ? -scaled : scaled;
+}
+
+}  // namespace mf

@@ -1,0 +1,51 @@
+#pragma once
+// Accurate reductions of PLAIN machine-precision arrays into expansions:
+// the "compensated algorithms" use case of the paper's related work section,
+// done with FPAN building blocks instead of Kahan-style partial compensation
+// -- the result carries the FULL N-term precision, so even pathologically
+// cancellative sums come out exact to working accuracy.
+//
+//   mf::sum<double, 4>(xs)      octuple-precision sum of doubles
+//   mf::dot<double, 2>(xs, ys)  quad-precision dot product of doubles
+//                               (the XBLAS ddot use case)
+
+#include <span>
+
+#include "add.hpp"
+#include "eft.hpp"
+#include "mul.hpp"
+#include "multifloat.hpp"
+
+namespace mf {
+
+/// Sum of machine numbers at N-term precision. For n <= 2^p * eps_N^-1 the
+/// result is the correctly rounded exact sum for all practical purposes
+/// (error bound ~ n * 2^-(Np - N + 1) relative to the largest partial sum).
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> sum(std::span<const T> xs) {
+    MultiFloat<T, N> acc{};
+    for (const T x : xs) acc = add(acc, x);
+    return acc;
+}
+
+/// Dot product of machine-number vectors at N-term precision: every pairwise
+/// product enters through TwoProd, so nothing is lost before accumulation.
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> dot(std::span<const T> xs, std::span<const T> ys) {
+    MultiFloat<T, N> acc{};
+    const std::size_t n = xs.size() < ys.size() ? xs.size() : ys.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto [p, e] = two_prod(xs[i], ys[i]);
+        acc = add(acc, p);
+        acc = add(acc, e);
+    }
+    return acc;
+}
+
+/// Two-norm squared at N-term precision.
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> norm2_squared(std::span<const T> xs) {
+    return dot<T, N>(xs, xs);
+}
+
+}  // namespace mf

@@ -1,0 +1,180 @@
+#include "softfloat.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace mf::soft {
+
+namespace {
+
+int bit_length_u128(unsigned __int128 v) noexcept {
+    const auto hi = static_cast<std::uint64_t>(v >> 64);
+    if (hi != 0) return 128 - std::countl_zero(hi);
+    const auto lo = static_cast<std::uint64_t>(v);
+    if (lo != 0) return 64 - std::countl_zero(lo);
+    return 0;
+}
+
+}  // namespace
+
+SoftFloat SoftFloat::make(int precision, int sign, std::uint64_t mant,
+                          std::int64_t exp) noexcept {
+    SoftFloat r(precision);
+    if (mant == 0 || sign == 0) return r;
+    // Normalize: shift out trailing zeros (canonical lsb-anchored form is not
+    // required, but a set top bit at prec-1 is; callers pass mant < 2^prec).
+    assert((mant >> precision) == 0);
+    r.sign_ = sign < 0 ? -1 : 1;
+    r.mant_ = mant;
+    r.exp_ = exp;
+    // Re-anchor so that the top bit sits at position prec-1.
+    const int bl = 64 - std::countl_zero(mant);
+    const int shift = precision - bl;
+    r.mant_ <<= shift;
+    r.exp_ -= shift;
+    return r;
+}
+
+SoftFloat SoftFloat::from_double(double x, int precision) noexcept {
+    SoftFloat r(precision);
+    if (x == 0.0 || !std::isfinite(x)) return r;
+    int sign = 1;
+    if (x < 0) {
+        sign = -1;
+        x = -x;
+    }
+    int e = 0;
+    const double frac = std::frexp(x, &e);
+    const auto mant = static_cast<unsigned __int128>(std::ldexp(frac, 53));
+    return round_from(precision, sign, mant, static_cast<std::int64_t>(e) - 53,
+                      false);
+}
+
+double SoftFloat::to_double() const noexcept {
+    if (sign_ == 0) return 0.0;
+    const double m = static_cast<double>(mant_);  // exact: prec_ <= 53 in use
+    return std::ldexp(sign_ < 0 ? -m : m, static_cast<int>(exp_));
+}
+
+std::int64_t SoftFloat::ilogb() const noexcept {
+    assert(sign_ != 0);
+    return exp_ + (64 - std::countl_zero(mant_)) - 1;
+}
+
+SoftFloat SoftFloat::ulp() const noexcept {
+    assert(sign_ != 0);
+    return make(prec_, +1, 1, ilogb() - prec_ + 1);
+}
+
+SoftFloat SoftFloat::round_from(int precision, int sign, unsigned __int128 mag,
+                                std::int64_t exp, bool sticky) noexcept {
+    SoftFloat r(precision);
+    if (mag == 0) return r;  // (sticky-only values cannot occur here)
+    const int bl = bit_length_u128(mag);
+    const int drop = bl - precision;
+    if (drop <= 0) {
+        return make(precision, sign, static_cast<std::uint64_t>(mag), exp);
+    }
+    const unsigned __int128 one = 1;
+    unsigned __int128 kept = mag >> drop;
+    const bool guard = (mag >> (drop - 1)) & 1;
+    const bool below = sticky || (mag & ((one << (drop - 1)) - 1)) != 0;
+    const bool lsb = kept & 1;
+    if (guard && (below || lsb)) {
+        ++kept;
+        if (bit_length_u128(kept) > precision) {
+            kept >>= 1;
+            exp += 1;
+        }
+    }
+    return make(precision, sign, static_cast<std::uint64_t>(kept), exp + drop);
+}
+
+SoftFloat operator+(const SoftFloat& a, const SoftFloat& b) noexcept {
+    assert(a.prec_ == b.prec_ || a.is_zero() || b.is_zero());
+    const int prec = a.is_zero() ? b.prec_ : a.prec_;
+    if (a.is_zero()) return b;
+    if (b.is_zero()) return a;
+    // Order so that |big| >= |small| by leading-bit exponent.
+    const SoftFloat* big = &a;
+    const SoftFloat* small = &b;
+    if (b.ilogb() > a.ilogb() ||
+        (b.ilogb() == a.ilogb() && b.mant_ > a.mant_)) {
+        big = &b;
+        small = &a;
+    }
+    const std::int64_t shift = big->exp_ - small->exp_;
+    // If the gap exceeds p + 1 bits, the small operand is below a quarter
+    // ulp of the big one and cannot change an RNE result.
+    if (shift >= prec + 2) return *big;
+    // Otherwise the aligned sum fits in 2p + 2 <= 128 bits: exact.
+    const unsigned __int128 ms = small->mant_;
+    const std::int64_t exp = small->exp_;
+    const unsigned __int128 mb = static_cast<unsigned __int128>(big->mant_) << shift;
+    if (a.sign_ == b.sign_) {
+        return SoftFloat::round_from(prec, big->sign_, mb + ms, exp, false);
+    }
+    if (mb == ms) return SoftFloat(prec);
+    return SoftFloat::round_from(prec, big->sign_, mb - ms, exp, false);
+}
+
+SoftFloat SoftFloat::operator-() const noexcept {
+    SoftFloat r = *this;
+    r.sign_ = -r.sign_;
+    return r;
+}
+
+SoftFloat operator-(const SoftFloat& a, const SoftFloat& b) noexcept {
+    return a + (-b);
+}
+
+SoftFloat operator*(const SoftFloat& a, const SoftFloat& b) noexcept {
+    assert(a.prec_ == b.prec_ || a.is_zero() || b.is_zero());
+    const int prec = a.is_zero() ? b.prec_ : a.prec_;
+    if (a.is_zero() || b.is_zero()) return SoftFloat(prec);
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(a.mant_) * b.mant_;
+    return SoftFloat::round_from(prec, a.sign_ * b.sign_, m, a.exp_ + b.exp_,
+                                 false);
+}
+
+int cmp(const SoftFloat& a, const SoftFloat& b) noexcept {
+    const SoftFloat d = a - b;  // rounding never changes the sign of a diff
+    return d.sign_;
+}
+
+SoftProd two_prod(const SoftFloat& a, const SoftFloat& b) noexcept {
+    const SoftFloat p = a * b;
+    if (a.is_zero() || b.is_zero() || p.is_zero()) {
+        return {p, SoftFloat(p.precision())};
+    }
+    // Exact product mantissa (<= 2p bits) minus the rounded product, both
+    // expressed at the exponent of the exact product's lsb.
+    const auto exact =
+        static_cast<unsigned __int128>(a.mantissa()) * b.mantissa();
+    const std::int64_t exact_exp = a.exponent() + b.exponent();
+    const std::int64_t shift = p.exponent() - exact_exp;  // >= 0
+    const unsigned __int128 rounded = static_cast<unsigned __int128>(p.mantissa())
+                                      << shift;
+    int sign = a.sign() * b.sign();
+    unsigned __int128 diff;
+    if (exact >= rounded) {
+        diff = exact - rounded;
+    } else {
+        diff = rounded - exact;
+        sign = -sign;
+    }
+    if (diff == 0) return {p, SoftFloat(p.precision())};
+    // The error fits in p bits by construction.
+    return {p, SoftFloat::make(p.precision(), sign,
+                               static_cast<std::uint64_t>(diff), exact_exp)};
+}
+
+bool SoftFloat::add_is_exact(const SoftFloat& a, const SoftFloat& b) noexcept {
+    const SoftFloat s = a + b;
+    const SoftFloat r = (s - a) - b;
+    return r.is_zero();
+}
+
+}  // namespace mf::soft

@@ -1,0 +1,169 @@
+// Addition/subtraction FPANs: error bounds (paper Figures 2-4) and the
+// nonoverlap invariant, checked against the exact oracle over adversarial
+// inputs for every (T, N) combination.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "support.hpp"
+
+namespace {
+
+using namespace mf;
+using mf::test::adversarial;
+using mf::test::cancellation_partner;
+using mf::test::exact;
+
+template <typename MF>
+class AddTyped : public ::testing::Test {};
+
+using AddTypes = ::testing::Types<MultiFloat<double, 2>, MultiFloat<double, 3>,
+                                  MultiFloat<double, 4>, MultiFloat<float, 2>,
+                                  MultiFloat<float, 3>, MultiFloat<float, 4>>;
+TYPED_TEST_SUITE(AddTyped, AddTypes);
+
+TYPED_TEST(AddTyped, ErrorBoundAndNonoverlapRandomized) {
+    using T = typename TypeParam::value_type;
+    constexpr int N = TypeParam::num_limbs;
+    constexpr int p = std::numeric_limits<T>::digits;
+    const int bound = mf::test::add_bound<N>(p);
+    std::mt19937_64 rng(1000 + N + p);
+    for (int i = 0; i < 8000; ++i) {
+        const TypeParam x = adversarial<T, N>(rng);
+        const TypeParam y = (i % 5 == 1) ? cancellation_partner(x, rng)
+                                         : adversarial<T, N>(rng);
+        const TypeParam z = add(x, y);
+        const auto want = exact(x) + exact(y);
+        if (!want.is_zero()) MF_EXPECT_REL_BOUND(z, want, bound);
+        EXPECT_TRUE(is_nonoverlapping(z)) << "case " << i;
+    }
+}
+
+TYPED_TEST(AddTyped, IsCommutative) {
+    using T = typename TypeParam::value_type;
+    constexpr int N = TypeParam::num_limbs;
+    std::mt19937_64 rng(2000 + N);
+    for (int i = 0; i < 4000; ++i) {
+        const TypeParam x = adversarial<T, N>(rng);
+        const TypeParam y = adversarial<T, N>(rng);
+        const TypeParam xy = add(x, y);
+        const TypeParam yx = add(y, x);
+        for (int k = 0; k < N; ++k) EXPECT_EQ(xy.limb[k], yx.limb[k]);
+    }
+}
+
+TYPED_TEST(AddTyped, AdditiveIdentityAndInverse) {
+    using T = typename TypeParam::value_type;
+    constexpr int N = TypeParam::num_limbs;
+    std::mt19937_64 rng(3000 + N);
+    const TypeParam zero{};
+    for (int i = 0; i < 4000; ++i) {
+        const TypeParam x = adversarial<T, N>(rng);
+        // x + 0 preserves the VALUE exactly. (Limb-for-limb identity is not
+        // guaranteed: at the half-ulp boundary the network may legitimately
+        // re-canonicalize (1, +ulp/2) as (1+ulp, -ulp/2).)
+        const TypeParam xz = add(x, zero);
+        EXPECT_EQ(mf::big::BigFloat::cmp(exact(xz), exact(x)), 0) << "case " << i;
+        EXPECT_TRUE(is_nonoverlapping(xz));
+        const TypeParam d = add(x, -x);
+        EXPECT_TRUE(d.is_zero());
+        for (int k = 0; k < N; ++k) EXPECT_EQ(d.limb[k], T(0));
+    }
+}
+
+TYPED_TEST(AddTyped, SubtractionMatchesOracle) {
+    using T = typename TypeParam::value_type;
+    constexpr int N = TypeParam::num_limbs;
+    constexpr int p = std::numeric_limits<T>::digits;
+    const int bound = mf::test::add_bound<N>(p);
+    std::mt19937_64 rng(4000 + N);
+    for (int i = 0; i < 4000; ++i) {
+        const TypeParam x = adversarial<T, N>(rng);
+        const TypeParam y = adversarial<T, N>(rng);
+        const TypeParam z = sub(x, y);
+        const auto want = exact(x) - exact(y);
+        if (!want.is_zero()) MF_EXPECT_REL_BOUND(z, want, bound);
+        EXPECT_TRUE(is_nonoverlapping(z));
+    }
+}
+
+TYPED_TEST(AddTyped, ScalarAddMatchesWidened) {
+    using T = typename TypeParam::value_type;
+    constexpr int N = TypeParam::num_limbs;
+    constexpr int p = std::numeric_limits<T>::digits;
+    const int bound = mf::test::add_bound<N>(p);
+    std::mt19937_64 rng(5000 + N);
+    std::uniform_real_distribution<T> u(T(-2), T(2));
+    for (int i = 0; i < 4000; ++i) {
+        const TypeParam x = adversarial<T, N>(rng);
+        const T s = std::ldexp(u(rng), static_cast<int>(rng() % 40) - 20);
+        const TypeParam z = add(x, s);
+        const auto want = exact(x) + mf::big::BigFloat::from_double(static_cast<double>(s));
+        if (!want.is_zero()) MF_EXPECT_REL_BOUND(z, want, bound);
+        EXPECT_TRUE(is_nonoverlapping(z));
+    }
+}
+
+TYPED_TEST(AddTyped, MassiveCancellationExactness) {
+    // When x + y is exactly representable after cancellation, the network
+    // must produce it exactly (error-free transformations lose nothing).
+    using T = typename TypeParam::value_type;
+    constexpr int N = TypeParam::num_limbs;
+    std::mt19937_64 rng(6000 + N);
+    for (int i = 0; i < 4000; ++i) {
+        TypeParam x = adversarial<T, N>(rng);
+        TypeParam y = -x;
+        // Zero one tail limb of y: the exact difference is that limb.
+        const int k = 1 + static_cast<int>(rng() % static_cast<unsigned>(N - 1));
+        const T removed = y.limb[k];
+        y.limb[k] = T(0);
+        const TypeParam z = add(x, y);
+        const auto want = mf::big::BigFloat::from_double(static_cast<double>(-removed));
+        EXPECT_EQ(mf::big::BigFloat::cmp(exact(z), want), 0) << "case " << i;
+    }
+}
+
+TYPED_TEST(AddTyped, OperatorFormsAgree) {
+    using T = typename TypeParam::value_type;
+    constexpr int N = TypeParam::num_limbs;
+    std::mt19937_64 rng(7000 + N);
+    const TypeParam x = adversarial<T, N>(rng);
+    const TypeParam y = adversarial<T, N>(rng);
+    TypeParam acc = x;
+    acc += y;
+    const TypeParam viaOp = x + y;
+    const TypeParam viaFn = add(x, y);
+    for (int k = 0; k < N; ++k) {
+        EXPECT_EQ(acc.limb[k], viaFn.limb[k]);
+        EXPECT_EQ(viaOp.limb[k], viaFn.limb[k]);
+    }
+}
+
+// Fixed directed cases exercising documented edge behaviour.
+TEST(AddDirected, TinyPlusHugeKeepsBoth) {
+    const Float64x2 a(1.0);
+    const Float64x2 b(0x1p-80);
+    const Float64x2 z = a + b;
+    EXPECT_EQ(z.limb[0], 1.0);
+    EXPECT_EQ(z.limb[1], 0x1p-80);
+}
+
+TEST(AddDirected, HiddenBitBoundary) {
+    // x0 at a power of two and a tail at exactly half-ulp: the boundary case
+    // of the nonoverlap invariant (Figure 1's "extra implicit bit").
+    const Float64x2 x({1.0, 0x1p-53});
+    const Float64x2 y({0x1p-53, 0x1p-107});
+    const Float64x2 z = x + y;
+    EXPECT_TRUE(is_nonoverlapping(z));
+    const auto want = mf::test::exact(x) + mf::test::exact(y);
+    EXPECT_LE(mf::test::rel_err_log2(z, want), -105.0);
+}
+
+TEST(AddDirected, ZeroPlusZero) {
+    const Float64x4 z = Float64x4{} + Float64x4{};
+    EXPECT_TRUE(z.is_zero());
+    EXPECT_TRUE(is_nonoverlapping(z));
+}
+
+}  // namespace

@@ -1,0 +1,213 @@
+// Baseline libraries (QD and CAMPARY reimplementations, GMP, __float128):
+// accuracy against the BigFloat oracle. These are the comparators of the
+// paper's evaluation -- they must be honestly correct for the benchmark
+// comparison to mean anything.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <span>
+
+#include "baselines/campary/campary.hpp"
+#include "baselines/gmp_float.hpp"
+#include "baselines/qd/dd_real.hpp"
+#include "baselines/qd/qd_real.hpp"
+#include "bigfloat/bigfloat.hpp"
+#include "support.hpp"
+
+namespace {
+
+using mf::big::BigFloat;
+
+BigFloat bf(double x) { return BigFloat::from_double(x); }
+
+double rel_log2(const BigFloat& got, const BigFloat& want) {
+    const BigFloat err = (got - want).abs();
+    if (err.is_zero()) return -1e9;
+    if (want.is_zero()) return 1e9;
+    return static_cast<double>(BigFloat::div(err, want.abs(), 64).ilogb());
+}
+
+// --- QD double-double -------------------------------------------------------
+
+mf::qd::dd_real random_dd(std::mt19937_64& rng) {
+    std::uniform_real_distribution<double> u(1.0, 2.0);
+    const double hi = std::ldexp(u(rng) * (rng() % 2 ? 1 : -1),
+                                 static_cast<int>(rng() % 20) - 10);
+    const double lo = hi * 0x1p-53 * u(rng) * 0.5;
+    const auto [h, l] = mf::two_sum(hi, lo);
+    return {h, l};
+}
+
+BigFloat value(const mf::qd::dd_real& x) { return bf(x.hi) + bf(x.lo); }
+BigFloat value(const mf::qd::qd_real& x) {
+    return bf(x.x[0]) + bf(x.x[1]) + bf(x.x[2]) + bf(x.x[3]);
+}
+template <int N>
+BigFloat value(const mf::campary::Expansion<N>& x) {
+    BigFloat acc;
+    for (int i = 0; i < N; ++i) acc = acc + bf(x.x[i]);
+    return acc;
+}
+
+TEST(QdBaseline, DdAddAccuracy) {
+    std::mt19937_64 rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        const auto a = random_dd(rng);
+        const auto b = random_dd(rng);
+        const auto s = a + b;
+        const BigFloat want = value(a) + value(b);
+        if (!want.is_zero()) {
+            EXPECT_LE(rel_log2(value(s), want), -104) << i;
+        }
+    }
+}
+
+TEST(QdBaseline, DdMulDivSqrtAccuracy) {
+    std::mt19937_64 rng(2);
+    for (int i = 0; i < 10000; ++i) {
+        const auto a = random_dd(rng);
+        const auto b = random_dd(rng);
+        EXPECT_LE(rel_log2(value(a * b), value(a) * value(b)), -100) << i;
+        EXPECT_LE(rel_log2(value(a / b), BigFloat::div(value(a), value(b), 140)), -100) << i;
+        const auto abs_a = a.hi < 0 ? -a : a;
+        EXPECT_LE(rel_log2(value(mf::qd::sqrt(abs_a)), BigFloat::sqrt(value(abs_a), 140)), -98)
+            << i;
+    }
+}
+
+mf::qd::qd_real random_qd(std::mt19937_64& rng) {
+    std::uniform_real_distribution<double> u(1.0, 2.0);
+    double l0 = std::ldexp(u(rng) * (rng() % 2 ? 1 : -1), static_cast<int>(rng() % 20) - 10);
+    mf::qd::qd_real r(l0);
+    for (int i = 1; i < 4; ++i) {
+        r.x[i] = r.x[i - 1] * 0x1p-53 * (u(rng) - 1.5);
+    }
+    double c0 = r.x[0], c1 = r.x[1], c2 = r.x[2], c3 = r.x[3];
+    mf::qd::detail::renorm(c0, c1, c2, c3);
+    return {c0, c1, c2, c3};
+}
+
+TEST(QdBaseline, QdAddAccuracy) {
+    std::mt19937_64 rng(3);
+    for (int i = 0; i < 5000; ++i) {
+        const auto a = random_qd(rng);
+        const auto b = random_qd(rng);
+        const BigFloat want = value(a) + value(b);
+        if (!want.is_zero()) {
+            EXPECT_LE(rel_log2(value(a + b), want), -200) << i;
+        }
+    }
+}
+
+TEST(QdBaseline, QdMulAccuracy) {
+    std::mt19937_64 rng(4);
+    for (int i = 0; i < 5000; ++i) {
+        const auto a = random_qd(rng);
+        const auto b = random_qd(rng);
+        const BigFloat want = value(a) * value(b);
+        if (!want.is_zero()) {
+            EXPECT_LE(rel_log2(value(a * b), want), -200) << i;
+        }
+    }
+}
+
+TEST(QdBaseline, QdDivSqrtAccuracy) {
+    std::mt19937_64 rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const auto a = random_qd(rng);
+        const auto b = random_qd(rng);
+        EXPECT_LE(rel_log2(value(a / b), BigFloat::div(value(a), value(b), 260)), -195) << i;
+        const auto abs_a = a.x[0] < 0 ? -a : a;
+        EXPECT_LE(rel_log2(value(mf::qd::sqrt(abs_a)), BigFloat::sqrt(value(abs_a), 260)), -190)
+            << i;
+    }
+}
+
+TEST(QdBaseline, QdCancellation) {
+    std::mt19937_64 rng(6);
+    for (int i = 0; i < 3000; ++i) {
+        const auto a = random_qd(rng);
+        const auto d = a - a;
+        EXPECT_TRUE(value(d).is_zero()) << i;
+    }
+}
+
+// --- CAMPARY certified expansions -------------------------------------------
+
+template <int N>
+mf::campary::Expansion<N> random_camp(std::mt19937_64& rng) {
+    const auto x = mf::test::adversarial<double, N>(rng, -10, 10);
+    mf::campary::Expansion<N> e;
+    for (int i = 0; i < N; ++i) e.x[i] = x.limb[i];
+    return e;
+}
+
+template <int N>
+void campary_accuracy(std::uint64_t seed, int add_bound, int mul_bound) {
+    std::mt19937_64 rng(seed);
+    for (int i = 0; i < 5000; ++i) {
+        const auto a = random_camp<N>(rng);
+        const auto b = random_camp<N>(rng);
+        const BigFloat ws = value(a) + value(b);
+        if (!ws.is_zero()) {
+            EXPECT_LE(rel_log2(value(a + b), ws), -add_bound) << "add " << i;
+        }
+        const BigFloat wm = value(a) * value(b);
+        if (!wm.is_zero()) {
+            EXPECT_LE(rel_log2(value(a * b), wm), -mul_bound) << "mul " << i;
+        }
+    }
+}
+
+TEST(CamparyBaseline, Accuracy2) { campary_accuracy<2>(7, 104, 100); }
+TEST(CamparyBaseline, Accuracy3) { campary_accuracy<3>(8, 150, 150); }
+TEST(CamparyBaseline, Accuracy4) { campary_accuracy<4>(9, 200, 200); }
+
+TEST(CamparyBaseline, DivSqrt) {
+    std::mt19937_64 rng(10);
+    for (int i = 0; i < 1000; ++i) {
+        auto a = random_camp<3>(rng);
+        auto b = random_camp<3>(rng);
+        if (value(b).is_zero()) b = mf::campary::Expansion<3>(2.0);
+        if (value(a).is_zero()) continue;
+        EXPECT_LE(rel_log2(value(a / b), BigFloat::div(value(a), value(b), 200)), -145) << i;
+        const auto abs_a = value(a).sign() < 0 ? -a : a;
+        EXPECT_LE(rel_log2(value(mf::campary::sqrt(abs_a)), BigFloat::sqrt(value(abs_a), 200)),
+                  -145)
+            << i;
+    }
+}
+
+// --- GMP / __float128 --------------------------------------------------------
+
+#if defined(MF_HAVE_GMP)
+TEST(GmpBaseline, BasicArithmetic) {
+    using mf::gmp::GmpFixed;
+    const GmpFixed<208> a(1.5);
+    const GmpFixed<208> b(0.25);
+    EXPECT_EQ((a + b).to_double(), 1.75);
+    EXPECT_EQ((a - b).to_double(), 1.25);
+    EXPECT_EQ((a * b).to_double(), 0.375);
+    EXPECT_EQ((a / b).to_double(), 6.0);
+    EXPECT_GE(a.precision(), 208u);
+}
+
+TEST(GmpBaseline, HighPrecisionAccumulation) {
+    // 1 + 2^-100 - 1 survives at 208 bits (would vanish in double).
+    using mf::gmp::GmpFixed;
+    GmpFixed<208> acc(1.0);
+    acc += GmpFixed<208>(0x1p-100);
+    acc -= GmpFixed<208>(1.0);
+    EXPECT_EQ(acc.to_double(), 0x1p-100);
+}
+#endif
+
+TEST(QuadmathBaseline, Float128Works) {
+    const __float128 a = 1.0;
+    const __float128 b = 0x1p-100;
+    const __float128 s = a + b;
+    EXPECT_EQ(static_cast<double>(s - a), 0x1p-100);  // 113-bit mantissa holds it
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+// BigFloat decimal conversion: known constants, round trips, parser edges.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "bigfloat/bigfloat.hpp"
+
+namespace {
+
+using mf::big::BigFloat;
+
+TEST(BigFloatString, KnownConstants) {
+    EXPECT_EQ(BigFloat::from_int(1).to_string(5), "1.0000e+0");
+    EXPECT_EQ(BigFloat::from_int(-255).to_string(4), "-2.550e+2");
+    EXPECT_EQ(BigFloat::from_double(0.5).to_string(3), "5.00e-1");
+    EXPECT_EQ(BigFloat{}.to_string(10), "0");
+    EXPECT_EQ(BigFloat::div(BigFloat::from_int(1), BigFloat::from_int(3), 120).to_string(12),
+              "3.33333333333e-1");
+}
+
+TEST(BigFloatString, PiAt50Digits) {
+    const std::string pi50 = "3.1415926535897932384626433832795028841971693993751";
+    const BigFloat pi = BigFloat::from_string(pi50, 200);
+    EXPECT_EQ(pi.to_string(50), "3.1415926535897932384626433832795028841971693993751e+0");
+}
+
+TEST(BigFloatString, ParseFormats) {
+    EXPECT_EQ(BigFloat::from_string("42", 60).to_double(), 42.0);
+    EXPECT_EQ(BigFloat::from_string("-42.5", 60).to_double(), -42.5);
+    EXPECT_EQ(BigFloat::from_string("+0.125", 60).to_double(), 0.125);
+    EXPECT_EQ(BigFloat::from_string("1e3", 60).to_double(), 1000.0);
+    EXPECT_EQ(BigFloat::from_string("2.5E-2", 60).to_double(), 0.025);
+    EXPECT_EQ(BigFloat::from_string("1.5e+1", 60).to_double(), 15.0);
+}
+
+TEST(BigFloatString, MalformedInputsAreZero) {
+    EXPECT_TRUE(BigFloat::from_string("", 60).is_zero());
+    EXPECT_TRUE(BigFloat::from_string("abc", 60).is_zero());
+    EXPECT_TRUE(BigFloat::from_string("-", 60).is_zero());
+    EXPECT_TRUE(BigFloat::from_string(".", 60).is_zero());
+    EXPECT_TRUE(BigFloat::from_string("0", 60).is_zero());
+    EXPECT_TRUE(BigFloat::from_string("0.000", 60).is_zero());
+}
+
+TEST(BigFloatString, ParseIsCorrectlyRounded) {
+    // 0.1 is not dyadic; parsing at 53 bits must equal the double literal.
+    EXPECT_EQ(BigFloat::from_string("0.1", 53).to_double(), 0.1);
+    EXPECT_EQ(BigFloat::from_string("3.14159", 53).to_double(), 3.14159);
+    EXPECT_EQ(BigFloat::from_string("1e-300", 53).to_double(), 1e-300);
+    EXPECT_EQ(BigFloat::from_string("123456789123456789", 53).to_double(),
+              123456789123456789.0);
+}
+
+TEST(BigFloatString, RoundTripRandomDoubles) {
+    std::mt19937_64 rng(13);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    for (int i = 0; i < 2000; ++i) {
+        const double x = std::ldexp(u(rng), static_cast<int>(rng() % 120) - 60);
+        if (x == 0.0) continue;
+        // 17 significant digits uniquely identify a double.
+        const std::string s = mf::big::BigFloat::from_double(x).to_string(17);
+        EXPECT_EQ(BigFloat::from_string(s, 53).to_double(), x) << s;
+    }
+}
+
+TEST(BigFloatString, CarryAcrossDecade) {
+    // 9.999... rounds up into an extra digit: exercises the retry loop.
+    const BigFloat v = BigFloat::from_string("9.99999999", 120);
+    EXPECT_EQ(v.to_string(3), "1.00e+1");
+    const BigFloat w = BigFloat::from_string("0.99951", 120);
+    EXPECT_EQ(w.to_string(3), "1.00e+0");
+}
+
+TEST(BigFloatString, NegativeExponentsAndSmallValues) {
+    const BigFloat v = BigFloat::from_string("4.375e-12", 120);
+    EXPECT_NEAR(v.to_double(), 4.375e-12, 1e-24);
+    EXPECT_EQ(v.to_string(4), "4.375e-12");
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+// BigFloat software FPU: cross-validated bit-for-bit against IEEE double
+// hardware at p = 53 and against __float128 at p = 113, plus directed
+// rounding edge cases. This is what qualifies BigFloat as the oracle for
+// every other test in the suite.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "bigfloat/bigfloat.hpp"
+
+namespace {
+
+using mf::big::BigFloat;
+
+BigFloat bf(double x) { return BigFloat::from_double(x); }
+
+class BigFloatHardware : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigFloatHardware, AddMatchesDoubleRNE) {
+    std::mt19937_64 rng(GetParam());
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    for (int i = 0; i < 30000; ++i) {
+        const double a = std::ldexp(u(rng), static_cast<int>(rng() % 80) - 40);
+        const double b = std::ldexp(u(rng), static_cast<int>(rng() % 80) - 40);
+        EXPECT_EQ((bf(a) + bf(b)).round(53).to_double(), a + b) << a << " " << b;
+    }
+}
+
+TEST_P(BigFloatHardware, MulMatchesDoubleRNE) {
+    std::mt19937_64 rng(GetParam() + 100);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    for (int i = 0; i < 30000; ++i) {
+        const double a = std::ldexp(u(rng), static_cast<int>(rng() % 80) - 40);
+        const double b = std::ldexp(u(rng), static_cast<int>(rng() % 80) - 40);
+        EXPECT_EQ((bf(a) * bf(b)).round(53).to_double(), a * b);
+    }
+}
+
+TEST_P(BigFloatHardware, DivMatchesDoubleRNE) {
+    std::mt19937_64 rng(GetParam() + 200);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    for (int i = 0; i < 20000; ++i) {
+        const double a = std::ldexp(u(rng), static_cast<int>(rng() % 60) - 30);
+        double b = std::ldexp(u(rng), static_cast<int>(rng() % 60) - 30);
+        if (b == 0.0) b = 1.0;
+        EXPECT_EQ(BigFloat::div(bf(a), bf(b), 53).to_double(), a / b);
+    }
+}
+
+TEST_P(BigFloatHardware, SqrtMatchesDoubleRNE) {
+    std::mt19937_64 rng(GetParam() + 300);
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    for (int i = 0; i < 20000; ++i) {
+        const double a = std::ldexp(u(rng), static_cast<int>(rng() % 80) - 40);
+        EXPECT_EQ(BigFloat::sqrt(bf(a), 53).to_double(), std::sqrt(a));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigFloatHardware, ::testing::Values(11, 22, 33));
+
+TEST(BigFloatQuad, MatchesFloat128) {
+    // __float128 has a 113-bit mantissa; libquadmath is the genuine GCC
+    // quad-precision library, giving an independent high-precision referee.
+    std::mt19937_64 rng(42);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    for (int i = 0; i < 20000; ++i) {
+        const double a = std::ldexp(u(rng), static_cast<int>(rng() % 40) - 20);
+        const double b = std::ldexp(u(rng), static_cast<int>(rng() % 40) - 20);
+        const __float128 qa = a;
+        const __float128 qb = b;
+        // Compare through exact decomposition: q = hi + lo with two doubles
+        // is not enough for 113 bits, so check that BigFloat rounded to 113
+        // bits equals the __float128 result converted back in two pieces.
+        const __float128 qs = qa + qb;
+        const double hi = static_cast<double>(qs);
+        const double lo = static_cast<double>(qs - static_cast<__float128>(hi));
+        const double lo2 =
+            static_cast<double>(qs - static_cast<__float128>(hi) - static_cast<__float128>(lo));
+        const BigFloat want = bf(hi) + bf(lo) + bf(lo2);
+        EXPECT_EQ(BigFloat::cmp((bf(a) + bf(b)).round(113), want), 0);
+
+        const __float128 qp = qa * qb;
+        const double phi = static_cast<double>(qp);
+        const double plo = static_cast<double>(qp - static_cast<__float128>(phi));
+        const double plo2 =
+            static_cast<double>(qp - static_cast<__float128>(phi) - static_cast<__float128>(plo));
+        const BigFloat wantp = bf(phi) + bf(plo) + bf(plo2);
+        EXPECT_EQ(BigFloat::cmp((bf(a) * bf(b)).round(113), wantp), 0);
+    }
+}
+
+TEST(BigFloatRound, TiesToEven) {
+    // 0b101 rounded to 2 bits: tie between 0b10 (even lsb) and 0b11 -> 0b100.
+    const BigFloat five = BigFloat::from_int(5);
+    EXPECT_EQ(five.round(2).to_double(), 4.0);
+    // 0b111 rounded to 2 bits: tie between 0b11 and 0b100(=0b10 at scale) ->
+    // 7 = 0b111 -> candidates 6 (0b110, even) and 8 (0b1000); 7 is exactly
+    // between -> even mantissa wins -> 8 (mantissa 0b10).
+    const BigFloat seven = BigFloat::from_int(7);
+    EXPECT_EQ(seven.round(2).to_double(), 8.0);
+    // Non-tie: 0b1101 (13) to 3 bits: candidates 12, 14; 13 is tie -> 12 even.
+    EXPECT_EQ(BigFloat::from_int(13).round(3).to_double(), 12.0);
+    // 0b11011 (27) to 3 bits: 26?? grid is 24, 28; 27 closer to 28.
+    EXPECT_EQ(BigFloat::from_int(27).round(3).to_double(), 28.0);
+}
+
+TEST(BigFloatRound, NoOpBelowPrecision) {
+    const BigFloat x = bf(1.5);
+    EXPECT_EQ(BigFloat::cmp(x.round(200), x), 0);
+    EXPECT_EQ(x.round(2).to_double(), 1.5);  // exactly representable in 2 bits
+}
+
+TEST(BigFloatRound, CarryPropagation) {
+    // 0b1111 rounded to 3 bits -> 0b10000 (carry ripples through).
+    EXPECT_EQ(BigFloat::from_int(15).round(3).to_double(), 16.0);
+    EXPECT_EQ(BigFloat::from_int(255).round(4).to_double(), 256.0);
+}
+
+TEST(BigFloatExact, AdditionIsExact) {
+    // Huge exponent gaps must not lose bits in the exact layer.
+    const BigFloat big = bf(1.0).ldexp(400);
+    const BigFloat tiny = bf(1.0).ldexp(-400);
+    const BigFloat sum = big + tiny;
+    EXPECT_EQ(BigFloat::cmp(sum - big, tiny), 0);
+    EXPECT_EQ(sum.mantissa_bits(), 801);
+}
+
+TEST(BigFloatExact, CancellationToZero) {
+    const BigFloat a = bf(3.7);
+    EXPECT_TRUE((a - a).is_zero());
+    EXPECT_EQ((a - a).sign(), 0);
+}
+
+TEST(BigFloatDiv, ExactQuotients) {
+    EXPECT_EQ(BigFloat::div(BigFloat::from_int(6), BigFloat::from_int(3), 53).to_double(), 2.0);
+    EXPECT_EQ(BigFloat::div(BigFloat::from_int(1), BigFloat::from_int(1024), 53).to_double(),
+              0x1p-10);
+    // 1/3 at increasing precision is monotone-alternating around 1/3.
+    const BigFloat third20 = BigFloat::div(BigFloat::from_int(1), BigFloat::from_int(3), 20);
+    const BigFloat third60 = BigFloat::div(BigFloat::from_int(1), BigFloat::from_int(3), 60);
+    EXPECT_NE(BigFloat::cmp(third20, third60), 0);
+}
+
+TEST(BigFloatSqrt, PerfectSquares) {
+    for (int i = 1; i < 300; ++i) {
+        const BigFloat r = BigFloat::sqrt(BigFloat::from_int(std::int64_t(i) * i), 53);
+        EXPECT_EQ(r.to_double(), static_cast<double>(i));
+    }
+}
+
+TEST(BigFloatCmp, SignedOrdering) {
+    EXPECT_LT(bf(-2.0), bf(-1.0));
+    EXPECT_LT(bf(-1.0), BigFloat{});
+    EXPECT_LT(BigFloat{}, bf(0.5));
+    EXPECT_LT(bf(0.5), bf(0.5000001));
+    EXPECT_EQ(BigFloat::cmp(bf(0.1), bf(0.1)), 0);
+}
+
+TEST(BigFloatMisc, IlogbAndUlp) {
+    EXPECT_EQ(bf(1.0).ilogb(), 0);
+    EXPECT_EQ(bf(1.5).ilogb(), 0);
+    EXPECT_EQ(bf(2.0).ilogb(), 1);
+    EXPECT_EQ(bf(0.75).ilogb(), -1);
+    EXPECT_EQ(mf::big::ulp_at(bf(1.0), 53).to_double(), 0x1p-52);
+}
+
+TEST(BigFloatMisc, RoundTripAllDoubleClasses) {
+    std::mt19937_64 rng(9);
+    for (int i = 0; i < 20000; ++i) {
+        const double x = std::ldexp(
+            static_cast<double>(rng()) * (rng() % 2 ? 1 : -1),
+            static_cast<int>(rng() % 400) - 250);
+        if (!std::isfinite(x) || x == 0.0) continue;
+        EXPECT_EQ(bf(x).to_double(), x);
+    }
+    EXPECT_EQ(bf(0.0).to_double(), 0.0);
+}
+
+TEST(BigFloatExpansion, FromExpansionSumsExactly) {
+    const double limbs[3] = {1.0, 0x1p-60, -0x1p-130};
+    const BigFloat v = BigFloat::from_expansion(std::span<const double>(limbs, 3));
+    EXPECT_EQ(BigFloat::cmp(v, bf(1.0) + bf(0x1p-60) + bf(-0x1p-130)), 0);
+}
+
+}  // namespace

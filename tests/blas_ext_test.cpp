@@ -1,0 +1,111 @@
+// Extended BLAS level-1/level-2 additions: scal, asum, nrm2, iamax, ger.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "blas/kernels.hpp"
+#include "support.hpp"
+
+namespace {
+
+using namespace mf;
+using mf::big::BigFloat;
+using mf::blas::asum;
+using mf::blas::ger;
+using mf::blas::iamax;
+using mf::blas::nrm2;
+using mf::blas::scal;
+using mf::test::adversarial;
+using mf::test::exact;
+
+template <int N>
+std::vector<MultiFloat<double, N>> vec(std::mt19937_64& rng, std::size_t n) {
+    std::vector<MultiFloat<double, N>> v;
+    for (std::size_t i = 0; i < n; ++i) v.push_back(adversarial<double, N>(rng, -6, 6));
+    return v;
+}
+
+TEST(BlasExt, ScalMatchesElementwiseMul) {
+    std::mt19937_64 rng(1);
+    auto x = vec<3>(rng, 130);
+    const auto ref = x;
+    const auto alpha = adversarial<double, 3>(rng, -3, 3);
+    scal<MultiFloat<double, 3>>(alpha, {x.data(), x.size()});
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const auto want = mul(ref[i], alpha);
+        for (int k = 0; k < 3; ++k) EXPECT_EQ(x[i].limb[k], want.limb[k]);
+    }
+}
+
+TEST(BlasExt, AsumMatchesOracle) {
+    std::mt19937_64 rng(2);
+    for (std::size_t n : {1u, 17u, 200u}) {
+        const auto x = vec<2>(rng, n);
+        BigFloat want;
+        for (const auto& v : x) want = want + exact(v).abs();
+        const auto got = asum<MultiFloat<double, 2>>({x.data(), n});
+        MF_EXPECT_REL_BOUND(got, want, 2 * 53 - 2 - 12);
+        EXPECT_GE(got.limb[0], 0.0);
+    }
+}
+
+TEST(BlasExt, Nrm2MatchesOracle) {
+    std::mt19937_64 rng(3);
+    for (std::size_t n : {1u, 33u, 150u}) {
+        const auto x = vec<4>(rng, n);
+        BigFloat sq;
+        for (const auto& v : x) sq = sq + exact(v) * exact(v);
+        if (sq.is_zero()) continue;
+        const BigFloat want = BigFloat::sqrt(sq, 4 * 53 + 20);
+        const auto got = nrm2<MultiFloat<double, 4>>({x.data(), n});
+        MF_EXPECT_REL_BOUND(got, want, 4 * 53 - 4 - 16);
+    }
+}
+
+TEST(BlasExt, IamaxFindsMaximum) {
+    std::mt19937_64 rng(4);
+    for (int rep = 0; rep < 50; ++rep) {
+        auto x = vec<2>(rng, 64);
+        // Plant a clear winner.
+        const auto where = static_cast<std::size_t>(rng() % 64);
+        x[where] = ldexp(MultiFloat<double, 2>(rng() % 2 ? 1.5 : -1.5), 40);
+        const std::size_t got = iamax<MultiFloat<double, 2>>({x.data(), x.size()});
+        EXPECT_EQ(got, where);
+    }
+    std::vector<double> d{1.0, -7.0, 3.0};
+    EXPECT_EQ(iamax<double>({d.data(), d.size()}), 1u);
+}
+
+TEST(BlasExt, GerMatchesOracle) {
+    std::mt19937_64 rng(5);
+    const std::size_t n = 9;
+    const std::size_t m = 7;
+    const auto x = vec<2>(rng, n);
+    const auto y = vec<2>(rng, m);
+    auto a = vec<2>(rng, n * m);
+    const auto ref = a;
+    const auto alpha = adversarial<double, 2>(rng, -2, 2);
+    ger<MultiFloat<double, 2>>(alpha, {x.data(), n}, {y.data(), m}, {a.data(), n * m});
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+            const BigFloat want =
+                exact(ref[i * m + j]) + exact(alpha) * exact(x[i]) * exact(y[j]);
+            if (!want.is_zero()) {
+                MF_EXPECT_REL_BOUND(a[i * m + j], want, 2 * 53 - 2 - 12);
+            }
+        }
+    }
+}
+
+TEST(BlasExt, WorksOnPlainDouble) {
+    std::vector<double> x{3.0, -4.0};
+    EXPECT_EQ(nrm2<double>({x.data(), 2u}), 5.0);
+    EXPECT_EQ(asum<double>({x.data(), 2u}), 7.0);
+    scal<double>(2.0, {x.data(), 2u});
+    EXPECT_EQ(x[0], 6.0);
+    EXPECT_EQ(x[1], -8.0);
+}
+
+}  // namespace

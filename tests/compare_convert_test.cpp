@@ -1,0 +1,212 @@
+// Exact comparisons, conversions, string I/O, numeric_limits.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "support.hpp"
+
+namespace {
+
+using namespace mf;
+using mf::big::BigFloat;
+using mf::test::adversarial;
+using mf::test::exact;
+
+TEST(Compare, MatchesOracleOrdering) {
+    std::mt19937_64 rng(1);
+    for (int i = 0; i < 8000; ++i) {
+        const Float64x3 x = adversarial<double, 3>(rng);
+        const Float64x3 y = adversarial<double, 3>(rng);
+        const int want = BigFloat::cmp(exact(x), exact(y));
+        EXPECT_EQ(cmp(x, y), want);
+        EXPECT_EQ(x < y, want < 0);
+        EXPECT_EQ(x > y, want > 0);
+        EXPECT_EQ(x == y, want == 0);
+        EXPECT_EQ(x <= y, want <= 0);
+        EXPECT_EQ(x >= y, want >= 0);
+        EXPECT_EQ(x != y, want != 0);
+    }
+}
+
+TEST(Compare, BoundaryRepresentationsCompareEqual) {
+    // (1, +ulp/2) and (1+ulp, -ulp/2) encode the SAME real number: limb-wise
+    // comparison would declare them different; exact comparison must not.
+    const Float64x2 a({1.0, 0x1p-53});
+    const Float64x2 b({1.0 + 0x1p-52, -0x1p-53});
+    EXPECT_EQ(BigFloat::cmp(exact(a), exact(b)), 0);  // sanity: same value
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a < b);
+    EXPECT_FALSE(a > b);
+}
+
+TEST(Compare, ScalarComparisons) {
+    const Float64x2 x(2.5);
+    EXPECT_TRUE(x == 2.5);
+    EXPECT_TRUE(x > 2.0);
+    EXPECT_TRUE(x < 3.0);
+    EXPECT_TRUE(Float64x2({2.5, 0x1p-80}) > 2.5);
+    EXPECT_TRUE(Float64x2({2.5, -0x1p-80}) < 2.5);
+}
+
+TEST(Compare, MinMax) {
+    const Float64x2 a({1.0, 0x1p-60});
+    const Float64x2 b({1.0, 0x1p-61});
+    EXPECT_EQ(mf::max(a, b).limb[1], 0x1p-60);
+    EXPECT_EQ(mf::min(a, b).limb[1], 0x1p-61);
+}
+
+TEST(Convert, RoundAndSubtractDecomposition) {
+    // from_bigfloat implements Eq. 6; the result must be the canonical RNE
+    // expansion: nonoverlapping and within 2^-(np+n-1) relatively.
+    std::mt19937_64 rng(2);
+    for (int i = 0; i < 500; ++i) {
+        // Build a random 300-bit constant.
+        BigFloat c = BigFloat::from_int(static_cast<std::int64_t>(rng() >> 12));
+        for (int k = 0; k < 4; ++k) {
+            c = c + BigFloat::from_int(static_cast<std::int64_t>(rng() >> 12)).ldexp(-60 * (k + 1));
+        }
+        if (c.is_zero()) continue;
+        const auto x = from_bigfloat<double, 4>(c);
+        EXPECT_TRUE(is_nonoverlapping(x));
+        const BigFloat err = (exact(x) - c).abs();
+        if (!err.is_zero()) {
+            const BigFloat rel = BigFloat::div(err, c.abs(), 60);
+            EXPECT_LE(rel.ilogb(), -(4 * 53 + 3)) << "case " << i;
+        }
+    }
+}
+
+TEST(Convert, StringRoundTrip) {
+    std::mt19937_64 rng(3);
+    for (int i = 0; i < 300; ++i) {
+        const Float64x4 x = adversarial<double, 4>(rng, -20, 20);
+        const std::string s = to_string(x);
+        const Float64x4 back = from_string<double, 4>(s);
+        // Full-precision decimal rendering uniquely determines the value to
+        // within one unit in the last decimal place.
+        const BigFloat diff = (exact(back) - exact(x)).abs();
+        if (!diff.is_zero() && !exact(x).is_zero()) {
+            const BigFloat rel = BigFloat::div(diff, exact(x).abs(), 60);
+            EXPECT_LE(rel.ilogb(), -200) << s;
+        }
+    }
+}
+
+TEST(Convert, KnownDecimalStrings) {
+    const auto x = from_string<double, 2>("0.1");
+    // 0.1 at 107 bits differs from 0.1 at 53 bits.
+    EXPECT_EQ(x.limb[0], 0.1);
+    EXPECT_NE(x.limb[1], 0.0);
+    const auto third = from_string<double, 3>("0.33333333333333333333333333333333333333333333333");
+    EXPECT_EQ(third.limb[0], 1.0 / 3.0);
+    EXPECT_EQ(to_string(Float64x2(1.0), 5), "1.0000e+0");
+    EXPECT_EQ(to_string(Float64x2{}), "0");
+}
+
+TEST(Convert, OstreamOperator) {
+    std::ostringstream os;
+    os << Float64x2(0.5);
+    EXPECT_TRUE(os.str().starts_with("5.000"));
+    EXPECT_TRUE(os.str().ends_with("e-1"));
+}
+
+TEST(Convert, ToFloatIsLeadingApproximation) {
+    std::mt19937_64 rng(4);
+    for (int i = 0; i < 4000; ++i) {
+        const Float64x3 x = adversarial<double, 3>(rng);
+        const double d = x.to_float();
+        const double want = exact(x).round(53).to_double();
+        // Correctly rounded except at exact half-ulp representation ties,
+        // where the low-to-high summation can double-round one ulp off.
+        if (d != want) {
+            const double ulp = std::ldexp(1.0, std::ilogb(want) - 52);
+            EXPECT_LE(std::abs(d - want), ulp) << "case " << i;
+        }
+    }
+    // Even canonical expansions can sit exactly on a tie, so correct rounding
+    // is not guaranteed there either -- but mismatches must be rare ties, not
+    // the common case.
+    std::mt19937_64 rng2(5);
+    int mismatches = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const Float64x3 raw = adversarial<double, 3>(rng2);
+        const Float64x3 x = from_bigfloat<double, 3>(exact(raw));
+        const double d = x.to_float();
+        const double want = exact(x).round(53).to_double();
+        if (d != want) {
+            ++mismatches;
+            const double ulp = std::ldexp(1.0, std::ilogb(want) - 52);
+            EXPECT_LE(std::abs(d - want), ulp) << "case " << i;
+        }
+    }
+    EXPECT_LE(mismatches, 100);
+}
+
+TEST(Convert, ResizeWidenExact) {
+    const Float64x2 x({1.0, 0x1p-60});
+    const auto w = x.resize<4>();
+    EXPECT_EQ(w.limb[0], 1.0);
+    EXPECT_EQ(w.limb[1], 0x1p-60);
+    EXPECT_EQ(w.limb[2], 0.0);
+    EXPECT_EQ(w.limb[3], 0.0);
+    const auto t = w.resize<2>();
+    EXPECT_EQ(t.limb[0], 1.0);
+    EXPECT_EQ(t.limb[1], 0x1p-60);
+}
+
+TEST(Limits, ReportedPrecision) {
+    using L2 = std::numeric_limits<Float64x2>;
+    using L4 = std::numeric_limits<Float64x4>;
+    EXPECT_TRUE(L2::is_specialized);
+    EXPECT_EQ(L2::digits, 107);   // 2*53 + 1
+    EXPECT_EQ(L4::digits, 215);   // 4*53 + 3
+    EXPECT_EQ(L2::radix, 2);
+    EXPECT_GT(L2::digits10, 30);
+    EXPECT_EQ(static_cast<double>(L2::max()), std::numeric_limits<double>::max());
+    // epsilon is 2^(1 - digits): adding it to 1 must be representable and
+    // distinguishable.
+    const Float64x2 one(1.0);
+    const Float64x2 nudged = one + L2::epsilon();
+    EXPECT_TRUE(nudged > one);
+}
+
+TEST(Limits, FloatBase) {
+    using L = std::numeric_limits<Float32x3>;
+    EXPECT_EQ(L::digits, 3 * 24 + 2);
+    EXPECT_TRUE(L::is_specialized);
+}
+
+TEST(Core, UnaryAndAbs) {
+    const Float64x2 x({-1.5, 0x1p-60});
+    EXPECT_EQ((-x).limb[0], 1.5);
+    EXPECT_EQ((-x).limb[1], -0x1p-60);
+    EXPECT_EQ(abs(x).limb[0], 1.5);
+    EXPECT_EQ(abs(-x).limb[0], 1.5);
+    EXPECT_EQ((+x).limb[0], -1.5);
+}
+
+TEST(Core, IsZeroAndFinite) {
+    EXPECT_TRUE(Float64x3{}.is_zero());
+    EXPECT_FALSE(Float64x3(1.0).is_zero());
+    EXPECT_TRUE(Float64x3(1.0).is_finite());
+    Float64x3 bad(1.0);
+    bad.limb[1] = std::numeric_limits<double>::infinity();
+    EXPECT_FALSE(bad.is_finite());
+}
+
+TEST(Core, RandomGenerators) {
+    std::mt19937_64 rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const auto u = random_unit<double, 3>(rng);
+        EXPECT_GE(u.limb[0], 0.0);
+        EXPECT_LT(u.limb[0], 1.0 + 0x1p-50);
+        EXPECT_TRUE(is_nonoverlapping(u));
+        const auto s = random_signed<double, 4>(rng, -6, 6);
+        EXPECT_TRUE(is_nonoverlapping(s));
+        EXPECT_FALSE(s.is_zero());
+    }
+}
+
+}  // namespace

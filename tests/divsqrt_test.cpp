@@ -1,0 +1,171 @@
+// Newton-Raphson division and square root (paper §4.3): accuracy against the
+// correctly rounded oracle, plus algebraic identities.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "support.hpp"
+
+namespace {
+
+using namespace mf;
+using mf::big::BigFloat;
+using mf::test::adversarial;
+using mf::test::exact;
+
+// Newton refinement with a final correction converges to within a few ulps
+// of the expansion's working precision; we test against bound - margin.
+template <int N, int P>
+constexpr int newton_bound = N * P - N - 4;
+
+template <typename MF>
+class DivSqrtTyped : public ::testing::Test {};
+
+using Types = ::testing::Types<MultiFloat<double, 2>, MultiFloat<double, 3>,
+                               MultiFloat<double, 4>, MultiFloat<float, 2>,
+                               MultiFloat<float, 3>, MultiFloat<float, 4>>;
+TYPED_TEST_SUITE(DivSqrtTyped, Types);
+
+TYPED_TEST(DivSqrtTyped, ReciprocalAccuracy) {
+    using T = typename TypeParam::value_type;
+    constexpr int N = TypeParam::num_limbs;
+    constexpr int p = std::numeric_limits<T>::digits;
+    std::mt19937_64 rng(1 + N + p);
+    for (int i = 0; i < 2000; ++i) {
+        TypeParam a = adversarial<T, N>(rng, -15, 15);
+        if (a.is_zero()) a = TypeParam(T(1));
+        const TypeParam r = recip(a);
+        const BigFloat want = BigFloat::div(BigFloat::from_int(1), exact(a), N * p + 20);
+        MF_EXPECT_REL_BOUND(r, want, (newton_bound<N, p>));
+    }
+}
+
+TYPED_TEST(DivSqrtTyped, DivisionAccuracy) {
+    using T = typename TypeParam::value_type;
+    constexpr int N = TypeParam::num_limbs;
+    constexpr int p = std::numeric_limits<T>::digits;
+    std::mt19937_64 rng(2 + N + p);
+    for (int i = 0; i < 2000; ++i) {
+        const TypeParam b = adversarial<T, N>(rng, -15, 15);
+        TypeParam a = adversarial<T, N>(rng, -15, 15);
+        if (a.is_zero()) a = TypeParam(T(3));
+        const TypeParam q = div(b, a);
+        if (b.is_zero()) {
+            EXPECT_TRUE(q.is_zero() || std::abs(static_cast<double>(q.limb[0])) < 1e-300);
+            continue;
+        }
+        const BigFloat want = BigFloat::div(exact(b), exact(a), N * p + 20);
+        MF_EXPECT_REL_BOUND(q, want, (newton_bound<N, p>));
+    }
+}
+
+TYPED_TEST(DivSqrtTyped, DivideThenMultiplyRoundTrips) {
+    using T = typename TypeParam::value_type;
+    constexpr int N = TypeParam::num_limbs;
+    constexpr int p = std::numeric_limits<T>::digits;
+    std::mt19937_64 rng(3 + N + p);
+    for (int i = 0; i < 2000; ++i) {
+        TypeParam a = adversarial<T, N>(rng, -10, 10);
+        const TypeParam b = adversarial<T, N>(rng, -10, 10);
+        if (a.is_zero()) a = TypeParam(T(2));
+        if (b.is_zero()) continue;
+        const TypeParam back = mul(div(b, a), a);
+        MF_EXPECT_REL_BOUND(back, exact(b), (newton_bound<N, p>));
+    }
+}
+
+TYPED_TEST(DivSqrtTyped, SqrtAccuracy) {
+    using T = typename TypeParam::value_type;
+    constexpr int N = TypeParam::num_limbs;
+    constexpr int p = std::numeric_limits<T>::digits;
+    std::mt19937_64 rng(4 + N + p);
+    for (int i = 0; i < 2000; ++i) {
+        TypeParam a = abs(adversarial<T, N>(rng, -15, 15));
+        if (a.is_zero()) a = TypeParam(T(2));
+        const TypeParam s = mf::sqrt(a);
+        const BigFloat want = BigFloat::sqrt(exact(a), N * p + 20);
+        MF_EXPECT_REL_BOUND(s, want, (newton_bound<N, p>));
+    }
+}
+
+TYPED_TEST(DivSqrtTyped, SqrtSquareRoundTrips) {
+    using T = typename TypeParam::value_type;
+    constexpr int N = TypeParam::num_limbs;
+    constexpr int p = std::numeric_limits<T>::digits;
+    std::mt19937_64 rng(5 + N + p);
+    for (int i = 0; i < 2000; ++i) {
+        TypeParam a = abs(adversarial<T, N>(rng, -10, 10));
+        if (a.is_zero()) continue;
+        const TypeParam back = sqr(mf::sqrt(a));
+        MF_EXPECT_REL_BOUND(back, exact(a), (newton_bound<N, p>));
+    }
+}
+
+TYPED_TEST(DivSqrtTyped, RsqrtConsistentWithSqrtAndRecip) {
+    using T = typename TypeParam::value_type;
+    constexpr int N = TypeParam::num_limbs;
+    constexpr int p = std::numeric_limits<T>::digits;
+    std::mt19937_64 rng(6 + N + p);
+    for (int i = 0; i < 1000; ++i) {
+        TypeParam a = abs(adversarial<T, N>(rng, -10, 10));
+        if (a.is_zero()) a = TypeParam(T(5));
+        const TypeParam r = rsqrt(a);
+        const BigFloat want = BigFloat::div(
+            BigFloat::from_int(1), BigFloat::sqrt(exact(a), N * p + 40), N * p + 20);
+        MF_EXPECT_REL_BOUND(r, want, (newton_bound<N, p>));
+    }
+}
+
+TEST(DivSqrtDirected, ExactCases) {
+    EXPECT_TRUE(mf::sqrt(Float64x4{}).is_zero());
+    const Float64x3 four(4.0);
+    const Float64x3 two = mf::sqrt(four);
+    EXPECT_EQ(two.limb[0], 2.0);
+    EXPECT_EQ(two.limb[1], 0.0);
+    const Float64x2 eight(8.0);
+    const Float64x2 q = div(eight, Float64x2(2.0));
+    EXPECT_EQ(q.limb[0], 4.0);
+    EXPECT_EQ(q.limb[1], 0.0);
+}
+
+TEST(DivSqrtDirected, OneThirdTimesThree) {
+    const Float64x4 third = div(Float64x4(1.0), Float64x4(3.0));
+    const Float64x4 back = mul(third, Float64x4(3.0));
+    const Float64x4 err = sub(back, Float64x4(1.0));
+    // |1/3 * 3 - 1| must sit at or below the octuple-precision noise floor.
+    EXPECT_LT(std::abs(err.limb[0]), 0x1p-205);
+}
+
+TEST(DivSqrtDirected, Sqrt2Digits) {
+    const auto s = mf::sqrt(Float64x4(2.0));
+    const std::string digits = mf::to_string(s, 60);
+    EXPECT_EQ(digits.substr(0, 42), "1.4142135623730950488016887242096980785696");
+}
+
+TEST(DivSqrtDirected, PowiMatchesRepeatedMultiply) {
+    std::mt19937_64 rng(77);
+    for (int i = 0; i < 500; ++i) {
+        const Float64x3 x = mf::test::adversarial<double, 3>(rng, -4, 4);
+        Float64x3 acc(1.0);
+        for (int k = 0; k < 7; ++k) acc = mul(acc, x);
+        const Float64x3 via = powi(x, 7);
+        // powi uses binary exponentiation: not bit-identical, but both must
+        // agree to working precision.
+        const auto want = mf::test::exact(acc);
+        if (!want.is_zero()) MF_EXPECT_REL_BOUND(via, want, 3 * 53 - 10);
+    }
+}
+
+TEST(DivSqrtDirected, PowiSpecialExponents) {
+    const Float64x2 x(1.5);
+    EXPECT_EQ(powi(x, 0).limb[0], 1.0);
+    EXPECT_EQ(powi(x, 1).limb[0], 1.5);
+    EXPECT_EQ(powi(x, 2).limb[0], 2.25);
+    const Float64x2 inv = powi(x, -1);
+    const auto want = mf::big::BigFloat::div(mf::big::BigFloat::from_int(2),
+                                             mf::big::BigFloat::from_int(3), 130);
+    MF_EXPECT_REL_BOUND(inv, want, 100);
+}
+
+}  // namespace

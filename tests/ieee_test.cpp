@@ -1,0 +1,100 @@
+// IEEE special-value restoration layer (paper §4.4): the raw kernels lose
+// -0.0 and collapse +-Inf to NaN; the *_ieee wrappers must restore the base
+// type's semantics while staying bit-identical on finite data.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "mf/ieee.hpp"
+#include "support.hpp"
+
+namespace {
+
+using namespace mf;
+using mf::test::adversarial;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(IeeeRaw, DocumentedLossesActuallyHappen) {
+    // The paper's §4.4 caveats, demonstrated on the raw kernels.
+    const Float64x2 nz(-0.0);
+    const Float64x2 z = add(nz, nz);
+    EXPECT_EQ(z.limb[0], 0.0);
+    EXPECT_FALSE(std::signbit(z.limb[0]));  // -0 was lost
+
+    const Float64x2 inf(kInf);
+    const Float64x2 s = add(inf, Float64x2(1.0));
+    EXPECT_TRUE(std::isnan(s.limb[0]));  // Inf collapsed to NaN
+}
+
+TEST(IeeeFixed, SignedZeroPreserved) {
+    const Float64x2 nz(-0.0);
+    const Float64x2 z = add_ieee(nz, nz);
+    EXPECT_EQ(z.limb[0], 0.0);
+    EXPECT_TRUE(std::signbit(z.limb[0]));
+    EXPECT_EQ(z.limb[1], 0.0);
+
+    // (-x) * 0 == -0.
+    const Float64x3 r = mul_ieee(Float64x3(-2.5), Float64x3(0.0));
+    EXPECT_EQ(r.limb[0], 0.0);
+    EXPECT_TRUE(std::signbit(r.limb[0]));
+}
+
+TEST(IeeeFixed, InfinityPropagates) {
+    const Float64x4 inf(kInf);
+    EXPECT_EQ(add_ieee(inf, Float64x4(1.0)).limb[0], kInf);
+    EXPECT_EQ(add_ieee(-inf, Float64x4(1.0)).limb[0], -kInf);
+    EXPECT_EQ(mul_ieee(inf, Float64x4(-2.0)).limb[0], -kInf);
+    EXPECT_TRUE(std::isnan(add_ieee(inf, -inf).limb[0]));  // Inf - Inf = NaN
+    EXPECT_TRUE(std::isnan(mul_ieee(inf, Float64x4(0.0)).limb[0]));
+}
+
+TEST(IeeeFixed, NanPropagates) {
+    const Float64x2 nan(kNaN);
+    EXPECT_TRUE(std::isnan(add_ieee(nan, Float64x2(1.0)).limb[0]));
+    EXPECT_TRUE(std::isnan(mul_ieee(Float64x2(3.0), nan).limb[0]));
+    EXPECT_TRUE(std::isnan(div_ieee(nan, Float64x2(2.0)).limb[0]));
+}
+
+TEST(IeeeFixed, DivisionSpecials) {
+    EXPECT_EQ(div_ieee(Float64x2(1.0), Float64x2(0.0)).limb[0], kInf);
+    EXPECT_EQ(div_ieee(Float64x2(-1.0), Float64x2(0.0)).limb[0], -kInf);
+    EXPECT_TRUE(std::isnan(div_ieee(Float64x2(0.0), Float64x2(0.0)).limb[0]));
+    const auto tiny = div_ieee(Float64x2(-1.0), Float64x2(kInf));
+    EXPECT_EQ(tiny.limb[0], 0.0);
+    EXPECT_TRUE(std::signbit(tiny.limb[0]));
+}
+
+TEST(IeeeFixed, BitIdenticalOnFiniteData) {
+    std::mt19937_64 rng(9);
+    for (int i = 0; i < 20000; ++i) {
+        const Float64x3 x = adversarial<double, 3>(rng);
+        const Float64x3 y = adversarial<double, 3>(rng);
+        const Float64x3 a = add(x, y);
+        const Float64x3 ai = add_ieee(x, y);
+        const Float64x3 m = mul(x, y);
+        const Float64x3 mi = mul_ieee(x, y);
+        for (int k = 0; k < 3; ++k) {
+            ASSERT_EQ(a.limb[k], ai.limb[k]);
+            ASSERT_EQ(m.limb[k], mi.limb[k]);
+        }
+    }
+}
+
+TEST(IeeeFixed, OverflowBoundary) {
+    // Paper §4.4: results of exactly +-DBL_MAX can internally overflow
+    // TwoSum; add_ieee repairs the case where the scalar result overflows.
+    const double big = std::numeric_limits<double>::max();
+    const Float64x2 x(big);
+    const Float64x2 r = add_ieee(x, x);  // overflows to +Inf
+    EXPECT_EQ(r.limb[0], kInf);
+    // A large-but-safe sum still goes through the fast path.
+    const Float64x2 half(big / 4);
+    const Float64x2 s = add_ieee(half, half);
+    EXPECT_EQ(s.limb[0], big / 2);
+}
+
+}  // namespace

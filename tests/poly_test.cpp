@@ -1,0 +1,132 @@
+// Polynomial evaluation / compensated Horner / root polishing at extended
+// precision, against the exact oracle and on the classic ill-conditioned
+// cases (Wilkinson-style clustered roots).
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "mf/poly.hpp"
+#include "support.hpp"
+
+namespace {
+
+using namespace mf;
+using mf::big::BigFloat;
+using mf::test::adversarial;
+using mf::test::exact;
+
+BigFloat bf(double x) { return BigFloat::from_double(x); }
+
+TEST(Poly, HornerMatchesOracle) {
+    std::mt19937_64 rng(1);
+    for (int rep = 0; rep < 200; ++rep) {
+        std::vector<Float64x3> c;
+        const int deg = 1 + static_cast<int>(rng() % 12);
+        for (int i = 0; i <= deg; ++i) c.push_back(adversarial<double, 3>(rng, -3, 3));
+        const Float64x3 x = adversarial<double, 3>(rng, -2, 1);
+        const Float64x3 got = poly::horner<double, 3>({c.data(), c.size()}, x);
+        BigFloat want;
+        const BigFloat xb = exact(x);
+        for (std::size_t i = c.size(); i-- > 0;) {
+            want = (want * xb).round(400) + exact(c[i]);
+        }
+        if (!want.is_zero()) {
+            MF_EXPECT_REL_BOUND(got, want, 3 * 53 - 3 - 16);
+        }
+    }
+}
+
+TEST(Poly, DerivativeSweepMatchesSeparateEvaluation) {
+    std::mt19937_64 rng(2);
+    for (int rep = 0; rep < 100; ++rep) {
+        std::vector<Float64x2> c;
+        const int deg = 2 + static_cast<int>(rng() % 8);
+        for (int i = 0; i <= deg; ++i) c.push_back(adversarial<double, 2>(rng, -2, 2));
+        const Float64x2 x = adversarial<double, 2>(rng, -2, 1);
+        const auto [v, d] = poly::horner_with_derivative<double, 2>({c.data(), c.size()}, x);
+        // value agrees with plain horner bit-for-bit (same recurrence).
+        const Float64x2 v2 = poly::horner<double, 2>({c.data(), c.size()}, x);
+        for (int k = 0; k < 2; ++k) EXPECT_EQ(v.limb[k], v2.limb[k]);
+        // derivative agrees with the coefficient-derivative polynomial.
+        std::vector<Float64x2> dc;
+        for (std::size_t i = 1; i < c.size(); ++i) {
+            dc.push_back(mul(c[i], Float64x2(static_cast<double>(i))));
+        }
+        const Float64x2 d2 = poly::horner<double, 2>({dc.data(), dc.size()}, x);
+        const BigFloat want = exact(d2);
+        if (!want.is_zero()) {
+            MF_EXPECT_REL_BOUND(d, want, 2 * 53 - 2 - 18);
+        }
+    }
+}
+
+TEST(Poly, CompensatedHornerNearWilkinsonRoot) {
+    // p(x) = (x-1)(x-2)...(x-12), expanded to double coefficients (exact:
+    // they are integers below 2^53). Near x = 11.5 the evaluation is
+    // catastrophically cancellative for plain double Horner.
+    std::vector<double> c{1.0};
+    for (int r = 1; r <= 12; ++r) {
+        std::vector<double> next(c.size() + 1, 0.0);
+        for (std::size_t i = 0; i < c.size(); ++i) {
+            next[i + 1] += c[i];
+            next[i] -= c[i] * r;
+        }
+        c = std::move(next);
+    }
+    const double x = 11.0 + 0x1p-20;  // near the root at 11: cancellation
+    // Exact value via BigFloat.
+    BigFloat want;
+    for (std::size_t i = c.size(); i-- > 0;) {
+        want = want * bf(x) + bf(c[i]);
+    }
+    // Plain double Horner: relative error visible.
+    double h = c.back();
+    for (std::size_t i = c.size() - 1; i-- > 0;) h = h * x + c[i];
+    const double rel_double = std::abs((bf(h) - want).to_double() / want.to_double());
+    // Compensated to 2 terms: exact to ~2^-107.
+    const auto comp = poly::horner_compensated<double, 2>({c.data(), c.size()}, x);
+    const BigFloat err = (mf::test::exact(comp) - want).abs();
+    EXPECT_GT(rel_double, 1e-14);  // double visibly struggles
+    if (!err.is_zero()) {
+        const double rel_comp = std::abs(BigFloat::div(err, want.abs(), 64).to_double());
+        EXPECT_LT(rel_comp, 1e-28);
+    }
+}
+
+TEST(Poly, NewtonPolishRecoversClusteredRoot) {
+    // p(x) = (x - 1)(x - 1 - 2^-30)(x + 3): two roots 2^-30 apart. Double
+    // Newton stalls at ~sqrt(eps) distance; octuple-precision polishing
+    // separates them cleanly.
+    const Float64x4 r1(1.0);
+    const Float64x4 r2 = add(Float64x4(1.0), 0x1p-30);
+    const Float64x4 r3(-3.0);
+    // coefficients of (x-r1)(x-r2)(x-r3), built at octuple precision.
+    std::vector<Float64x4> c(4);
+    c[3] = Float64x4(1.0);
+    c[2] = -add(add(r1, r2), r3);
+    c[1] = add(add(mul(r1, r2), mul(r1, r3)), mul(r2, r3));
+    c[0] = -mul(mul(r1, r2), r3);
+    // Seed OUTSIDE the cluster (at the midpoint p' vanishes and Newton
+    // diverges -- that is what makes clustered roots hard).
+    const Float64x4 polished = poly::newton_polish<double, 4>(
+        {c.data(), c.size()}, Float64x4(1.0 + 0x1p-28), 20);
+    // Converges to one of the two cluster roots to ~working precision.
+    const BigFloat d1 = (exact(polished) - exact(r1)).abs();
+    const BigFloat d2 = (exact(polished) - exact(r2)).abs();
+    const BigFloat closest = BigFloat::cmp(d1, d2) < 0 ? d1 : d2;
+    EXPECT_TRUE(closest.is_zero() || closest.ilogb() < -140);
+}
+
+TEST(Poly, EmptyAndConstant) {
+    EXPECT_TRUE((poly::horner<double, 2>({}, Float64x2(3.0))).is_zero());
+    std::vector<Float64x2> c{Float64x2(7.5)};
+    const Float64x2 k = poly::horner<double, 2>({c.data(), 1u}, Float64x2(100.0));
+    EXPECT_EQ(k.limb[0], 7.5);
+    const auto [v, d] = poly::horner_with_derivative<double, 2>({c.data(), 1u}, Float64x2(2.0));
+    EXPECT_EQ(v.limb[0], 7.5);
+    EXPECT_TRUE(d.is_zero());
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Property-based sweeps: algebraic laws that extended-precision arithmetic
+// must satisfy to working accuracy, across every (T, N) and many seeds.
+// These are the "does it behave like a number type" guarantees a downstream
+// scientific user relies on.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "support.hpp"
+
+namespace {
+
+using namespace mf;
+using mf::big::BigFloat;
+using mf::test::adversarial;
+using mf::test::exact;
+
+// Parameter: (N encoded via runtime switch, seed). gtest TEST_P gives us the
+// cartesian sweep; the body dispatches on N.
+class AlgebraicLaws : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+template <int N>
+void check_laws(std::uint64_t seed) {
+    constexpr int p = 53;
+    // Working accuracy with headroom for chained operations: the error of an
+    // intermediate is relative to THAT intermediate, which can exceed the
+    // final result by the operands' magnitude ratio (leads span 2^-4..2^4,
+    // so up to 8 bits), plus a couple of bits for the second rounding.
+    const int bound = N * p - N - 12;
+    std::mt19937_64 rng(seed);
+    for (int i = 0; i < 1500; ++i) {
+        const auto a = adversarial<double, N>(rng, -4, 4);
+        const auto b = adversarial<double, N>(rng, -4, 4);
+        const auto c = adversarial<double, N>(rng, -4, 4);
+
+        // (a + b) - b ~ a
+        {
+            const auto got = sub(add(a, b), b);
+            if (!exact(a).is_zero()) MF_EXPECT_REL_BOUND(got, exact(a), bound);
+        }
+        // associativity to working precision: (a+b)+c ~ a+(b+c)
+        {
+            const auto l = add(add(a, b), c);
+            const auto want = exact(a) + exact(b) + exact(c);
+            if (!want.is_zero()) MF_EXPECT_REL_BOUND(l, want, bound);
+            const auto r = add(a, add(b, c));
+            if (!want.is_zero()) MF_EXPECT_REL_BOUND(r, want, bound);
+        }
+        // distributivity to working precision: a*(b+c) ~ a*b + a*c
+        {
+            const auto l = mul(a, add(b, c));
+            const auto want = exact(a) * (exact(b) + exact(c));
+            if (!want.is_zero()) MF_EXPECT_REL_BOUND(l, want, bound);
+            const auto r = add(mul(a, b), mul(a, c));
+            if (!want.is_zero()) MF_EXPECT_REL_BOUND(r, want, bound);
+        }
+        // negation distributes exactly: -(a+b) == (-a)+(-b)
+        {
+            const auto l = -add(a, b);
+            const auto r = add(-a, -b);
+            for (int k = 0; k < N; ++k) EXPECT_EQ(l.limb[k], r.limb[k]);
+        }
+        // monotonicity of comparison under addition of a positive value
+        {
+            const auto pos = abs(c);
+            if (!pos.is_zero()) {
+                EXPECT_TRUE(add(a, pos) > a) << "i=" << i;
+                EXPECT_TRUE(sub(a, pos) < a) << "i=" << i;
+            }
+        }
+    }
+}
+
+TEST_P(AlgebraicLaws, Hold) {
+    const auto [n, seed] = GetParam();
+    switch (n) {
+        case 2:
+            check_laws<2>(seed);
+            break;
+        case 3:
+            check_laws<3>(seed);
+            break;
+        default:
+            check_laws<4>(seed);
+            break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AlgebraicLaws,
+                         ::testing::Combine(::testing::Values(2, 3, 4),
+                                            ::testing::Values(1u, 2u, 3u, 4u)));
+
+// fma at extended precision.
+TEST(Properties, FmaMatchesMulAdd) {
+    std::mt19937_64 rng(5);
+    for (int i = 0; i < 3000; ++i) {
+        const auto a = adversarial<double, 3>(rng, -8, 8);
+        const auto b = adversarial<double, 3>(rng, -8, 8);
+        const auto c = adversarial<double, 3>(rng, -8, 8);
+        const auto l = mf::fma(a, b, c);
+        const auto r = add(mul(a, b), c);
+        for (int k = 0; k < 3; ++k) EXPECT_EQ(l.limb[k], r.limb[k]);
+    }
+}
+
+// Telescoping series: add a list of terms, then subtract them again. The
+// residual is not exactly zero (each += rounds at 4*53+3 bits and the two
+// traversals round differently) but must stay at the octuple-precision noise
+// floor relative to the largest term.
+TEST(Properties, TelescopingSeriesCancelsToNoiseFloor) {
+    for (int len : {5, 17, 64, 200}) {
+        Float64x4 acc{};
+        std::mt19937_64 rng(static_cast<std::uint64_t>(len));
+        std::vector<Float64x4> terms;
+        for (int i = 0; i < len; ++i) terms.push_back(adversarial<double, 4>(rng, -6, 6));
+        for (const auto& t : terms) acc += t;
+        for (const auto& t : terms) acc -= t;
+        // |residual| <= len * 2^-(4*53-4) * max|term| (max|term| < 2^7).
+        const double ceiling = len * 0x1p-208 * 0x1p7;
+        EXPECT_LE(std::abs(acc.limb[0]), ceiling) << "len=" << len;
+    }
+}
+
+// Compensated-summation stress: sum of n terms matches the oracle within the
+// N-term bound times a modest growth factor.
+TEST(Properties, LongAccumulationStaysTight) {
+    std::mt19937_64 rng(6);
+    Float64x3 acc{};
+    BigFloat want;
+    for (int i = 0; i < 5000; ++i) {
+        const auto t = adversarial<double, 3>(rng, -10, 10);
+        acc += t;
+        want = want + exact(t);
+    }
+    if (!want.is_zero()) {
+        // Allow log2(5000) ~ 12.3 bits of growth over the single-op bound.
+        MF_EXPECT_REL_BOUND(acc, want, 3 * 53 - 3 - 13);
+    }
+    EXPECT_TRUE(is_nonoverlapping(acc));
+}
+
+// Heron's iteration fixpoint: sqrt via the library agrees with the Babylonian
+// method run at extended precision.
+TEST(Properties, BabylonianAgreesWithSqrt) {
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 200; ++i) {
+        auto a = abs(adversarial<double, 2>(rng, -4, 4));
+        if (a.is_zero()) continue;
+        Float64x2 x(static_cast<double>(a.limb[0]) < 0 ? 1.0 : std::sqrt(a.limb[0]));
+        for (int k = 0; k < 6; ++k) {
+            x = ldexp(add(x, div(a, x)), -1);
+        }
+        const auto want = BigFloat::sqrt(exact(a), 140);
+        MF_EXPECT_REL_BOUND(x, want, 100);
+    }
+}
+
+// Dekker's classic: splitting constants survive round trips at every N.
+TEST(Properties, ExactScalingRoundTrip) {
+    std::mt19937_64 rng(8);
+    for (int i = 0; i < 3000; ++i) {
+        const auto a = adversarial<double, 4>(rng);
+        const auto up = ldexp(a, 37);
+        const auto back = ldexp(up, -37);
+        for (int k = 0; k < 4; ++k) EXPECT_EQ(back.limb[k], a.limb[k]);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Accurate reductions over plain machine arrays (mf::sum / mf::dot):
+// pathological cancellation cases against the exact oracle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "mf/reduce.hpp"
+#include "support.hpp"
+
+namespace {
+
+using namespace mf;
+using mf::big::BigFloat;
+
+TEST(Reduce, SumOfCancellingSeriesIsExact) {
+    // +x and -x pairs shuffled: the exact sum is the one leftover element.
+    // At N = 4 every partial sum fits the 215-bit window (values span
+    // 80 + 53 bits plus ~9 bits of carry growth), so no add ever discards
+    // information and the result is EXACT despite total cancellation.
+    std::mt19937_64 rng(1);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    for (int rep = 0; rep < 50; ++rep) {
+        std::vector<double> xs;
+        for (int i = 0; i < 200; ++i) {
+            const double v = std::ldexp(u(rng), static_cast<int>(rng() % 80) - 40);
+            xs.push_back(v);
+            xs.push_back(-v);
+        }
+        const double leftover = std::ldexp(u(rng), -30);
+        xs.push_back(leftover);
+        std::shuffle(xs.begin(), xs.end(), rng);
+        const auto s = mf::sum<double, 4>({xs.data(), xs.size()});
+        EXPECT_EQ(BigFloat::cmp(mf::test::exact(s), BigFloat::from_double(leftover)), 0)
+            << "rep " << rep;
+        // At N = 2 the 107-bit window cannot hold the full span: the sum is
+        // close but NOT guaranteed exact -- the contrast is the point.
+        const auto s2 = mf::sum<double, 2>({xs.data(), xs.size()});
+        const BigFloat err =
+            (mf::test::exact(s2) - BigFloat::from_double(leftover)).abs();
+        if (!err.is_zero()) {
+            // Partial sums reach ~2^41 and N=2 keeps 107 bits, so the
+            // residual floor is ~2^-66 with a few bits of accumulation.
+            EXPECT_LE(err.ilogb(), 41 - 107 + 12) << "rep " << rep;
+        }
+    }
+}
+
+TEST(Reduce, SumMatchesOracleAtScale) {
+    std::mt19937_64 rng(2);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    std::vector<double> xs;
+    BigFloat want;
+    for (int i = 0; i < 20000; ++i) {
+        const double v = std::ldexp(u(rng), static_cast<int>(rng() % 60) - 30);
+        xs.push_back(v);
+        want = want + BigFloat::from_double(v);
+    }
+    const auto s4 = mf::sum<double, 4>({xs.data(), xs.size()});
+    if (!want.is_zero()) {
+        MF_EXPECT_REL_BOUND(s4, want, 4 * 53 - 4 - 16);
+    }
+}
+
+TEST(Reduce, DotIsExactForSmallInputs) {
+    // With <= ~2^53-bounded intermediate bit spans, the 4-term dot of small
+    // integers is EXACT.
+    std::vector<double> xs{3, -7, 11, 13, -17};
+    std::vector<double> ys{19, 23, -29, 31, 37};
+    const auto d = mf::dot<double, 4>({xs.data(), 5u}, {ys.data(), 5u});
+    // 57 - 161 - 319 + 403 - 629 = -649.
+    EXPECT_EQ(d.limb[0], -649.0);
+    EXPECT_EQ(d.limb[1], 0.0);
+}
+
+TEST(Reduce, DotIllConditioned) {
+    // Huge terms that cancel exactly: plain double gets 0 digits, the
+    // 2-term reduction stays exact.
+    std::vector<double> xs{0x1p100, 1.0, -0x1p100, 3.0};
+    std::vector<double> ys{0x1p20, 5.0, 0x1p20, 7.0};
+    // exact: 2^120 + 5 - 2^120 + 21 = 26.
+    double naive = 0.0;
+    for (int i = 0; i < 4; ++i) naive += xs[static_cast<std::size_t>(i)] * ys[static_cast<std::size_t>(i)];
+    EXPECT_NE(naive, 26.0);
+    const auto d = mf::dot<double, 2>({xs.data(), 4u}, {ys.data(), 4u});
+    EXPECT_EQ(d.limb[0], 26.0);
+}
+
+TEST(Reduce, DotMatchesOracleRandom) {
+    std::mt19937_64 rng(3);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    for (int rep = 0; rep < 20; ++rep) {
+        std::vector<double> xs;
+        std::vector<double> ys;
+        BigFloat want;
+        for (int i = 0; i < 500; ++i) {
+            xs.push_back(std::ldexp(u(rng), static_cast<int>(rng() % 40) - 20));
+            ys.push_back(std::ldexp(u(rng), static_cast<int>(rng() % 40) - 20));
+            want = want +
+                   BigFloat::from_double(xs.back()) * BigFloat::from_double(ys.back());
+        }
+        const auto d = mf::dot<double, 3>({xs.data(), xs.size()}, {ys.data(), ys.size()});
+        if (!want.is_zero()) {
+            MF_EXPECT_REL_BOUND(d, want, 3 * 53 - 3 - 14);
+        }
+        const auto nsq = mf::norm2_squared<double, 3>({xs.data(), xs.size()});
+        EXPECT_GT(nsq.limb[0], 0.0);
+    }
+}
+
+TEST(Reduce, EmptyInputs) {
+    EXPECT_TRUE((mf::sum<double, 2>({})).is_zero());
+    EXPECT_TRUE((mf::dot<double, 3>({}, {})).is_zero());
+}
+
+}  // namespace

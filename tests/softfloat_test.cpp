@@ -1,0 +1,157 @@
+// SoftFloat model: cross-validated against BigFloat at every precision and
+// against hardware doubles at p = 53. This is what qualifies SoftFloat as the
+// value type for exhaustive FPAN verification.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "bigfloat/bigfloat.hpp"
+#include "softfloat/softfloat.hpp"
+
+namespace {
+
+using mf::big::BigFloat;
+using mf::soft::SoftFloat;
+
+BigFloat bf(double x) { return BigFloat::from_double(x); }
+
+class SoftFloatPrecision : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftFloatPrecision, AddMatchesBigFloat) {
+    const int p = GetParam();
+    std::mt19937_64 rng(p);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    for (int i = 0; i < 20000; ++i) {
+        const double a0 = std::ldexp(u(rng), static_cast<int>(rng() % 30) - 15);
+        const double b0 = std::ldexp(u(rng), static_cast<int>(rng() % 30) - 15);
+        const SoftFloat a = SoftFloat::from_double(a0, p);
+        const SoftFloat b = SoftFloat::from_double(b0, p);
+        const double want =
+            (bf(a.to_double()) + bf(b.to_double())).round(p).to_double();
+        EXPECT_EQ((a + b).to_double(), want)
+            << "p=" << p << " a=" << a.to_double() << " b=" << b.to_double();
+    }
+}
+
+TEST_P(SoftFloatPrecision, MulMatchesBigFloat) {
+    const int p = GetParam();
+    std::mt19937_64 rng(p + 50);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    for (int i = 0; i < 20000; ++i) {
+        const SoftFloat a =
+            SoftFloat::from_double(std::ldexp(u(rng), static_cast<int>(rng() % 20) - 10), p);
+        const SoftFloat b =
+            SoftFloat::from_double(std::ldexp(u(rng), static_cast<int>(rng() % 20) - 10), p);
+        const double want =
+            (bf(a.to_double()) * bf(b.to_double())).round(p).to_double();
+        EXPECT_EQ((a * b).to_double(), want);
+    }
+}
+
+TEST_P(SoftFloatPrecision, TwoProdIsExact) {
+    const int p = GetParam();
+    std::mt19937_64 rng(p + 99);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    for (int i = 0; i < 10000; ++i) {
+        const SoftFloat a =
+            SoftFloat::from_double(std::ldexp(u(rng), static_cast<int>(rng() % 20) - 10), p);
+        const SoftFloat b =
+            SoftFloat::from_double(std::ldexp(u(rng), static_cast<int>(rng() % 20) - 10), p);
+        const auto [prod, err] = mf::soft::two_prod(a, b);
+        const BigFloat exact = bf(a.to_double()) * bf(b.to_double());
+        EXPECT_EQ(BigFloat::cmp(bf(prod.to_double()) + bf(err.to_double()), exact), 0);
+        EXPECT_EQ(prod.to_double(), (a * b).to_double());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, SoftFloatPrecision,
+                         ::testing::Values(3, 4, 5, 8, 11, 24, 53));
+
+TEST(SoftFloat, MatchesHardwareDoubleAt53) {
+    std::mt19937_64 rng(7);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    for (int i = 0; i < 30000; ++i) {
+        const double a = std::ldexp(u(rng), static_cast<int>(rng() % 60) - 30);
+        const double b = std::ldexp(u(rng), static_cast<int>(rng() % 60) - 30);
+        const SoftFloat sa = SoftFloat::from_double(a, 53);
+        const SoftFloat sb = SoftFloat::from_double(b, 53);
+        EXPECT_EQ((sa + sb).to_double(), a + b);
+        EXPECT_EQ((sa - sb).to_double(), a - b);
+        EXPECT_EQ((sa * sb).to_double(), a * b);
+    }
+}
+
+TEST(SoftFloat, HugeGapReturnsBigOperand) {
+    const SoftFloat a = SoftFloat::from_double(1.0, 5);
+    const SoftFloat tiny = SoftFloat::from_double(0x1p-40, 5);
+    EXPECT_EQ((a + tiny).to_double(), 1.0);
+    EXPECT_EQ((a - tiny).to_double(), 1.0);
+    EXPECT_EQ((tiny + a).to_double(), 1.0);
+}
+
+TEST(SoftFloat, SubtractAcrossPowerOfTwo) {
+    // 1.0 - eps in p=4: spacing below 1 is 2^-4, so 1 - 2^-5 == 1 - 2^-5
+    // exactly (it is representable: 0.96875 = 0b0.11111).
+    const SoftFloat one = SoftFloat::from_double(1.0, 4);
+    const SoftFloat eps = SoftFloat::from_double(0x1p-5, 4);
+    const double got = (one - eps).to_double();
+    const double want = (bf(1.0) - bf(0x1p-5)).round(4).to_double();
+    EXPECT_EQ(got, want);
+}
+
+TEST(SoftFloat, RoundTiesToEvenAtTinyPrecision) {
+    // p=3: 9 = 0b1001 rounds between 8 (0b100) and 10 (0b101): tie -> 8.
+    const SoftFloat v = SoftFloat::from_double(9.0, 3);
+    EXPECT_EQ(v.to_double(), 8.0);
+    // 11 = 0b1011 -> candidates 10, 12; closer to... 11 tie -> 12 (even).
+    EXPECT_EQ(SoftFloat::from_double(11.0, 3).to_double(), 12.0);
+}
+
+TEST(SoftFloat, ZeroHandling) {
+    const SoftFloat z(5);
+    const SoftFloat a = SoftFloat::from_double(3.5, 5);
+    EXPECT_TRUE(z.is_zero());
+    EXPECT_EQ((z + a).to_double(), 3.5);
+    EXPECT_EQ((a - a).to_double(), 0.0);
+    EXPECT_TRUE((a - a).is_zero());
+    EXPECT_TRUE((z * a).is_zero());
+}
+
+TEST(SoftFloat, ComparisonMatchesValues) {
+    std::mt19937_64 rng(8);
+    std::uniform_real_distribution<double> u(-4.0, 4.0);
+    for (int i = 0; i < 10000; ++i) {
+        const SoftFloat a = SoftFloat::from_double(u(rng), 6);
+        const SoftFloat b = SoftFloat::from_double(u(rng), 6);
+        const double da = a.to_double();
+        const double db = b.to_double();
+        EXPECT_EQ(cmp(a, b) < 0, da < db);
+        EXPECT_EQ(cmp(a, b) == 0, da == db);
+    }
+}
+
+TEST(SoftFloat, EnumerationCountsAndValidity) {
+    // p = 3, exponents [0, 1]: 2 exponents x 4 mantissas x 2 signs + zero.
+    int count = 0;
+    mf::soft::for_each_value(3, 0, 1, [&](const SoftFloat& v) {
+        ++count;
+        if (!v.is_zero()) {
+            EXPECT_GE(v.ilogb(), 0);
+            EXPECT_LE(v.ilogb(), 1);
+            // Round-tripping through double must be identity (values exact).
+            EXPECT_EQ(SoftFloat::from_double(v.to_double(), 3).to_double(), v.to_double());
+        }
+    });
+    EXPECT_EQ(count, 1 + 2 * 4 * 2);
+}
+
+TEST(SoftFloat, UlpAccessor) {
+    const SoftFloat one = SoftFloat::from_double(1.0, 6);
+    EXPECT_EQ(one.ulp().to_double(), 0x1p-5);
+    const SoftFloat eight = SoftFloat::from_double(8.0, 6);
+    EXPECT_EQ(eight.ulp().to_double(), 0x1p-2);
+}
+
+}  // namespace

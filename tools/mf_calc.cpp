@@ -1,0 +1,70 @@
+// mf_calc: a tiny octuple-precision RPN calculator driving the public API --
+// handy for poking at the library from the shell.
+//
+//   $ mf_calc 2 sqrt        -> 1.4142135623730950488016887242096980785696...
+//   $ mf_calc 1 3 / 3 '*'   -> 1
+//   $ mf_calc 1 1e-40 +     -> 1.0000000000000000000000000000000000000001e+0
+//
+// Tokens: decimal numbers, + - x / sqrt recip neg abs ('x' or '*' multiply).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mf/multifloats.hpp"
+
+using MF = mf::MultiFloat<double, 4>;
+
+int main(int argc, char** argv) {
+    std::vector<MF> stack;
+    const auto pop = [&]() {
+        if (stack.empty()) {
+            std::fprintf(stderr, "stack underflow\n");
+            std::exit(1);
+        }
+        MF v = stack.back();
+        stack.pop_back();
+        return v;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string tok = argv[i];
+        if (tok == "+") {
+            const MF b = pop();
+            const MF a = pop();
+            stack.push_back(a + b);
+        } else if (tok == "-") {
+            const MF b = pop();
+            const MF a = pop();
+            stack.push_back(a - b);
+        } else if (tok == "x" || tok == "*") {
+            const MF b = pop();
+            const MF a = pop();
+            stack.push_back(a * b);
+        } else if (tok == "/") {
+            const MF b = pop();
+            const MF a = pop();
+            stack.push_back(a / b);
+        } else if (tok == "sqrt") {
+            stack.push_back(mf::sqrt(pop()));
+        } else if (tok == "recip") {
+            stack.push_back(mf::recip(pop()));
+        } else if (tok == "neg") {
+            stack.push_back(-pop());
+        } else if (tok == "abs") {
+            stack.push_back(mf::abs(pop()));
+        } else {
+            stack.push_back(mf::from_string<double, 4>(tok));
+        }
+    }
+    if (stack.empty()) {
+        std::printf("usage: mf_calc <rpn tokens>   e.g.  mf_calc 2 sqrt\n");
+        return 0;
+    }
+    for (const MF& v : stack) {
+        std::printf("%s\n", mf::to_string(v).c_str());
+        std::printf("  limbs: [%.17g, %.17g, %.17g, %.17g]\n", v.limb[0], v.limb[1],
+                    v.limb[2], v.limb[3]);
+    }
+    return 0;
+}
