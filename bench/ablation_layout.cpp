@@ -1,9 +1,10 @@
-// Ablation: memory layout and vectorization. The same branch-free networks
-// run as scalar code over array-of-structs (AoS) vectors and as
-// auto-vectorized code over planar structure-of-arrays (SoA) vectors
-// (src/blas/planar.hpp). The SoA uplift is the "data-parallel (SIMD/SIMT)
-// processors" advantage the paper claims for branch-free algorithms --
-// branchy baselines (QD, CAMPARY) cannot be laid out this way at all,
+// Ablation: memory layout. The same branch-free networks run over
+// array-of-structs (AoS) vectors -- pack-vectorized through a per-block limb
+// transpose (mf::blas -> simd::axpy_aos/dot_aos) -- and over planar
+// structure-of-arrays (SoA) vectors, where packs load limb planes directly
+// (src/blas/planar.hpp -> mf::simd). The SoA uplift isolates the layout
+// cost: it is pure marshalling, since both sides execute the identical pack
+// networks. Branchy baselines (QD, CAMPARY) cannot be laid out either way,
 // because their control flow diverges per element.
 
 #include <cstdio>
@@ -60,9 +61,9 @@ void run() {
 }  // namespace
 
 int main() {
-    std::printf("Ablation: AoS (scalar) vs SoA (auto-vectorized) layouts for the\n"
-                "branch-free kernels. The uplift is the paper's data-parallelism\n"
-                "claim made measurable on this machine.\n\n");
+    std::printf("Ablation: AoS (pack via limb transpose) vs SoA (direct pack loads)\n"
+                "layouts for the branch-free kernels. The uplift is the marshalling\n"
+                "cost the planar layout removes.\n\n");
     run<2>();
     run<3>();
     run<4>();

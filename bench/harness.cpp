@@ -69,6 +69,39 @@ void Table::print(std::FILE* out) const {
     }
 }
 
+bool JsonReport::write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
+        return false;
+    }
+    // All strings here are harness-controlled ASCII (kernel/backend names,
+    // /proc/cpuinfo model strings); no JSON escaping is required beyond
+    // suppressing quotes/backslashes defensively.
+    const auto clean = [](const std::string& s) {
+        std::string r;
+        for (char c : s) {
+            if (c != '"' && c != '\\' && c >= 0x20) r.push_back(c);
+        }
+        return r;
+    };
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"cpu\": \"%s\",\n  \"records\": [",
+                 clean(bench).c_str(), clean(cpu_name()).c_str());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const JsonRecord& r = records[i];
+        std::fprintf(f,
+                     "%s\n    {\"kernel\": \"%s\", \"type\": \"%s\", \"limbs\": %d, "
+                     "\"backend\": \"%s\", \"width\": %d, "
+                     "\"ns_per_op\": %.6g, \"gflops_equiv\": %.6g}",
+                     i ? "," : "", clean(r.kernel).c_str(), clean(r.type).c_str(),
+                     r.limbs, clean(r.backend).c_str(), r.width, r.ns_per_op,
+                     r.gflops_equiv);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    return true;
+}
+
 double Table::best_excluding(std::size_t row, std::size_t col) const {
     double best = 0.0;
     for (std::size_t r = 0; r < rows.size(); ++r) {

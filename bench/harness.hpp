@@ -80,6 +80,33 @@ Table make_table(std::string title, std::vector<std::string> rows,
 /// Short CPU description for table headers.
 std::string cpu_name();
 
+/// One machine-readable measurement for the BENCH_*.json trajectories:
+/// which kernel on which number type, which SIMD backend and pack width ran
+/// it, and what it cost. `gflops_equiv` is the native-FLOP-equivalent
+/// throughput (extended ops/s x native flops per extended op), so trends
+/// stay comparable across N and against plain-double peaks.
+struct JsonRecord {
+    std::string kernel;   // "axpy", "dot", "gemm", ...
+    std::string type;     // "double", "float"
+    int limbs = 0;        // expansion length N
+    std::string backend;  // "scalar" | "sse2" | "avx2" | "avx512" | "neon"
+                          // | "autovec" (pre-SIMD compiler-vectorized path)
+    int width = 0;        // pack lanes (0 for autovec)
+    double ns_per_op = 0.0;
+    double gflops_equiv = 0.0;
+};
+
+/// Collects JsonRecords and writes one self-describing JSON document.
+struct JsonReport {
+    std::string bench;  // benchmark family, e.g. "simd_planar"
+    std::vector<JsonRecord> records;
+
+    void add(JsonRecord r) { records.push_back(std::move(r)); }
+    /// Write {"bench":..., "cpu":..., "records":[...]} to `path`.
+    /// Returns false (and prints to stderr) if the file cannot be written.
+    bool write(const std::string& path) const;
+};
+
 /// Deterministic fill value in [1, 2): benign magnitudes so every library
 /// runs its common path (matching the paper's dense BLAS workloads).
 inline double fill_value(std::mt19937_64& rng) {

@@ -4,78 +4,165 @@
 // (MultiFloat, QD, CAMPARY, BigFloat/PrecFloat, GMP, __float128, plain
 // double/float) runs the IDENTICAL kernel code.
 //
+// MultiFloat spans additionally take an explicit-SIMD fast path: the loop
+// bodies run on mf::simd packs (runtime-dispatched to the widest available
+// backend, scalar tail loops for remainders) instead of relying on the
+// auto-vectorizer. The `if constexpr` split keeps a single kernel entry
+// point per operation, so all existing call sites -- including ones that
+// pass the element type explicitly, e.g. dot<Float64x2>(...) -- get the
+// pack path for free.
+//
 // Parallelization matches the paper: ij loop ordering for GEMV, ikj loop
-// ordering for GEMM, with OpenMP over the outer loop when enabled. (In this
-// reproduction environment only one core is available, so OpenMP paths are
-// compiled and correct but add no speedup; see EXPERIMENTS.md.)
+// ordering for GEMM, with OpenMP over the outer loop when enabled. Every
+// parallel region is guarded by detail::in_parallel() so that kernels called
+// from inside an existing parallel region (e.g. the tiled GEMM driver in
+// simd/tiling.hpp, or a user's own omp loop) run serially instead of
+// oversubscribing with nested teams. (In this reproduction environment only
+// one core is available, so OpenMP paths are compiled and correct but add
+// no speedup; see EXPERIMENTS.md.)
 
 #include <cmath>
 #include <cstddef>
 #include <cstdlib>
 #include <span>
 
+#include "../mf/multifloat.hpp"
+#include "../simd/dispatch.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
 namespace mf::blas {
+
+namespace detail {
+
+/// True when already executing inside an OpenMP parallel region: used in
+/// every `if` clause below to suppress nested parallelism.
+inline bool in_parallel() noexcept {
+#if defined(_OPENMP)
+    return omp_in_parallel() != 0;
+#else
+    return false;
+#endif
+}
+
+/// Is V a MultiFloat over a *scalar* base type (the pack-kernel fast path)?
+template <typename V>
+inline constexpr bool is_multifloat_v = false;
+template <typename T, int N>
+inline constexpr bool is_multifloat_v<MultiFloat<T, N>> = std::floating_point<T>;
+
+}  // namespace detail
 
 /// y <- alpha * x + y
 template <typename V>
 void axpy(const V& alpha, std::span<const V> x, std::span<V> y) {
     const std::size_t n = x.size();
-#pragma omp parallel for schedule(static) if (n > 4096)
-    for (std::size_t i = 0; i < n; ++i) {
-        y[i] += alpha * x[i];
+    if constexpr (detail::is_multifloat_v<V>) {
+        using T = typename V::value_type;
+        constexpr int N = V::num_limbs;
+        constexpr std::size_t chunk = 2048;
+        const std::size_t nchunks = (n + chunk - 1) / chunk;
+#pragma omp parallel for schedule(static) \
+    if (n > 4096 && !detail::in_parallel())
+        for (std::size_t c = 0; c < nchunks; ++c) {
+            const std::size_t lo = c * chunk;
+            const std::size_t hi = (lo + chunk < n) ? lo + chunk : n;
+            simd::axpy_aos<T, N>(alpha, x.data() + lo, y.data() + lo, hi - lo);
+        }
+    } else {
+#pragma omp parallel for schedule(static) \
+    if (n > 4096 && !detail::in_parallel())
+        for (std::size_t i = 0; i < n; ++i) {
+            y[i] += alpha * x[i];
+        }
     }
 }
 
 /// <x, y>
 ///
-/// Eight independent partial accumulators break the loop-carried dependence
-/// so the (branch-free) per-element work pipelines and vectorizes -- the
-/// SIMD-reduction structure the paper credits for MultiFloats' DOT advantage
-/// over libraries whose operations cannot be interleaved.
+/// Eight (or pack-width) independent partial accumulators break the
+/// loop-carried dependence so the (branch-free) per-element work pipelines
+/// and vectorizes -- the SIMD-reduction structure the paper credits for
+/// MultiFloats' DOT advantage over libraries whose operations cannot be
+/// interleaved.
 template <typename V>
 [[nodiscard]] V dot(std::span<const V> x, std::span<const V> y) {
     const std::size_t n = x.size();
-    constexpr std::size_t K = 8;
-    V acc{};
-#pragma omp parallel if (n > 4096)
-    {
-        V part[K]{};
-#pragma omp for schedule(static) nowait
-        for (std::size_t blk = 0; blk < n / K; ++blk) {
-            for (std::size_t k = 0; k < K; ++k) {
-                part[k] += x[blk * K + k] * y[blk * K + k];
-            }
-        }
-        V local{};
-        for (std::size_t k = 0; k < K; ++k) local += part[k];
+    if constexpr (detail::is_multifloat_v<V>) {
+        using T = typename V::value_type;
+        constexpr int N = V::num_limbs;
+        V acc{};
+#pragma omp parallel if (n > 4096 && !detail::in_parallel())
+        {
+#if defined(_OPENMP)
+            const std::size_t nt = static_cast<std::size_t>(omp_get_num_threads());
+            const std::size_t tid = static_cast<std::size_t>(omp_get_thread_num());
+#else
+            const std::size_t nt = 1;
+            const std::size_t tid = 0;
+#endif
+            const std::size_t lo = n * tid / nt;
+            const std::size_t hi = n * (tid + 1) / nt;
+            const V local = simd::dot_aos<T, N>(x.data() + lo, y.data() + lo, hi - lo);
 #pragma omp critical
-        acc += local;
+            acc += local;
+        }
+        return acc;
+    } else {
+        constexpr std::size_t K = 8;
+        V acc{};
+#pragma omp parallel if (n > 4096 && !detail::in_parallel())
+        {
+            V part[K]{};
+#pragma omp for schedule(static) nowait
+            for (std::size_t blk = 0; blk < n / K; ++blk) {
+                for (std::size_t k = 0; k < K; ++k) {
+                    part[k] += x[blk * K + k] * y[blk * K + k];
+                }
+            }
+            V local{};
+            for (std::size_t k = 0; k < K; ++k) local += part[k];
+#pragma omp critical
+            acc += local;
+        }
+        for (std::size_t i = n - n % K; i < n; ++i) {
+            acc += x[i] * y[i];
+        }
+        return acc;
     }
-    for (std::size_t i = n - n % K; i < n; ++i) {
-        acc += x[i] * y[i];
-    }
-    return acc;
 }
 
-/// y <- A x  (A row-major n x m; ij loop order, 4-way unrolled inner dot)
+/// y <- A x  (A row-major n x m; ij loop order; MultiFloat rows reduce
+/// through the pack dot kernel, other types use a 4-way unrolled inner dot)
 template <typename V>
 void gemv(std::span<const V> a, std::size_t n, std::size_t m,
           std::span<const V> x, std::span<V> y) {
-    constexpr std::size_t K = 4;
-#pragma omp parallel for schedule(static) if (n > 64)
-    for (std::size_t i = 0; i < n; ++i) {
-        V part[K]{};
-        for (std::size_t blk = 0; blk < m / K; ++blk) {
-            for (std::size_t k = 0; k < K; ++k) {
-                part[k] += a[i * m + blk * K + k] * x[blk * K + k];
+    if constexpr (detail::is_multifloat_v<V>) {
+        using T = typename V::value_type;
+        constexpr int N = V::num_limbs;
+#pragma omp parallel for schedule(static) if (n > 64 && !detail::in_parallel())
+        for (std::size_t i = 0; i < n; ++i) {
+            y[i] = simd::dot_aos<T, N>(a.data() + i * m, x.data(), m);
+        }
+    } else {
+        constexpr std::size_t K = 4;
+#pragma omp parallel for schedule(static) if (n > 64 && !detail::in_parallel())
+        for (std::size_t i = 0; i < n; ++i) {
+            V part[K]{};
+            for (std::size_t blk = 0; blk < m / K; ++blk) {
+                for (std::size_t k = 0; k < K; ++k) {
+                    part[k] += a[i * m + blk * K + k] * x[blk * K + k];
+                }
             }
+            V acc{};
+            for (std::size_t k = 0; k < K; ++k) acc += part[k];
+            for (std::size_t j = m - m % K; j < m; ++j) {
+                acc += a[i * m + j] * x[j];
+            }
+            y[i] = acc;
         }
-        V acc{};
-        for (std::size_t k = 0; k < K; ++k) acc += part[k];
-        for (std::size_t j = m - m % K; j < m; ++j) {
-            acc += a[i * m + j] * x[j];
-        }
-        y[i] = acc;
     }
 }
 
@@ -83,7 +170,7 @@ void gemv(std::span<const V> a, std::size_t n, std::size_t m,
 template <typename V>
 void scal(const V& alpha, std::span<V> x) {
     const std::size_t n = x.size();
-#pragma omp parallel for schedule(static) if (n > 4096)
+#pragma omp parallel for schedule(static) if (n > 4096 && !detail::in_parallel())
     for (std::size_t i = 0; i < n; ++i) {
         x[i] *= alpha;
     }
@@ -122,11 +209,17 @@ void ger(const V& alpha, std::span<const V> x, std::span<const V> y,
          std::span<V> a) {
     const std::size_t n = x.size();
     const std::size_t m = y.size();
-#pragma omp parallel for schedule(static) if (n > 64)
+#pragma omp parallel for schedule(static) if (n > 64 && !detail::in_parallel())
     for (std::size_t i = 0; i < n; ++i) {
         const V ax = alpha * x[i];
-        for (std::size_t j = 0; j < m; ++j) {
-            a[i * m + j] += ax * y[j];
+        if constexpr (detail::is_multifloat_v<V>) {
+            using T = typename V::value_type;
+            constexpr int N = V::num_limbs;
+            simd::axpy_aos<T, N>(ax, y.data(), a.data() + i * m, m);
+        } else {
+            for (std::size_t j = 0; j < m; ++j) {
+                a[i * m + j] += ax * y[j];
+            }
         }
     }
 }
@@ -135,13 +228,19 @@ void ger(const V& alpha, std::span<const V> x, std::span<const V> y,
 template <typename V>
 void gemm(std::span<const V> a, std::span<const V> b, std::span<V> c,
           std::size_t n, std::size_t k, std::size_t m) {
-#pragma omp parallel for schedule(static) if (n > 16)
+#pragma omp parallel for schedule(static) if (n > 16 && !detail::in_parallel())
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j < m; ++j) c[i * m + j] = V{};
         for (std::size_t kk = 0; kk < k; ++kk) {
             const V aik = a[i * k + kk];
-            for (std::size_t j = 0; j < m; ++j) {
-                c[i * m + j] += aik * b[kk * m + j];
+            if constexpr (detail::is_multifloat_v<V>) {
+                using T = typename V::value_type;
+                constexpr int N = V::num_limbs;
+                simd::axpy_aos<T, N>(aik, b.data() + kk * m, c.data() + i * m, m);
+            } else {
+                for (std::size_t j = 0; j < m; ++j) {
+                    c[i * m + j] += aik * b[kk * m + j];
+                }
             }
         }
     }

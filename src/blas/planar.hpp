@@ -16,11 +16,17 @@
 // The arithmetic performed is IDENTICAL to mf::add / mf::mul (same gate
 // sequences); tests/planar_test.cpp checks bit-for-bit agreement with the
 // scalar kernels.
+//
+// The elementwise ranges and the dot reduction are executed by the explicit
+// pack kernels of mf::simd (runtime-dispatched to the widest available
+// backend, scalar tail loop for the remainder) instead of relying on the
+// auto-vectorizer; see src/simd/ and DESIGN.md "SIMD backend".
 
 #include <cstddef>
 #include <vector>
 
 #include "../mf/multifloats.hpp"
+#include "../simd/dispatch.hpp"
 
 namespace mf::planar {
 
@@ -58,41 +64,18 @@ private:
 
 namespace detail {
 
-/// Elementwise z = x + y over raw planes [i0, i1): the add network unrolled
-/// per element; the loop body is branch-free, so this vectorizes.
+/// Elementwise z = x + y over raw planes [i0, i1): W elements at a time
+/// through the pack add network, scalar tail for the remainder.
 template <FloatingPoint T, int N>
 void add_range(const T* const* xp, const T* const* yp, T* const* zp,
                std::size_t i0, std::size_t i1) {
-    // Planes belong to distinct std::vectors and never alias; the pragma
-    // spares the vectorizer a 2N-way runtime disambiguation.
-#pragma GCC ivdep
-    for (std::size_t i = i0; i < i1; ++i) {
-        MultiFloat<T, N> x;
-        MultiFloat<T, N> y;
-        for (int k = 0; k < N; ++k) {
-            x.limb[k] = xp[k][i];
-            y.limb[k] = yp[k][i];
-        }
-        const MultiFloat<T, N> z = add(x, y);
-        for (int k = 0; k < N; ++k) zp[k][i] = z.limb[k];
-    }
+    simd::add_range<T, N>(xp, yp, zp, i0, i1);
 }
 
 template <FloatingPoint T, int N>
 void fma_range(const MultiFloat<T, N>& alpha, const T* const* xp, T* const* yp,
                std::size_t i0, std::size_t i1) {
-    // Planes never alias (see add_range).
-#pragma GCC ivdep
-    for (std::size_t i = i0; i < i1; ++i) {
-        MultiFloat<T, N> x;
-        MultiFloat<T, N> y;
-        for (int k = 0; k < N; ++k) {
-            x.limb[k] = xp[k][i];
-            y.limb[k] = yp[k][i];
-        }
-        const MultiFloat<T, N> z = add(mul(alpha, x), y);
-        for (int k = 0; k < N; ++k) yp[k][i] = z.limb[k];
-    }
+    simd::fma_range<T, N>(alpha, xp, yp, i0, i1);
 }
 
 }  // namespace detail
@@ -109,46 +92,19 @@ void axpy(const MultiFloat<T, N>& alpha, const Vector<T, N>& x, Vector<T, N>& y)
     detail::fma_range<T, N>(alpha, xp, yp, 0, x.size());
 }
 
-/// <x, y> with eight independent accumulators kept in limb-major (SoA) form,
-/// so the whole fused multiply-accumulate network vectorizes across the
-/// eight lanes -- the SIMD-reduction operator the paper says competing
-/// libraries lack.
+/// <x, y> with (at least) eight independent accumulators kept in pack lanes
+/// -- the SIMD-reduction operator the paper says competing libraries lack.
+/// For pack widths <= 8 the accumulation order matches the historical
+/// eight-accumulator loop exactly, so the result is backend-independent.
 template <FloatingPoint T, int N>
 [[nodiscard]] MultiFloat<T, N> dot(const Vector<T, N>& x, const Vector<T, N>& y) {
-    constexpr std::size_t K = 8;
-    const std::size_t n = x.size();
-    T part[N][K] = {};
     const T* xp[N];
     const T* yp[N];
     for (int k = 0; k < N; ++k) {
         xp[k] = x.plane(k);
         yp[k] = y.plane(k);
     }
-    for (std::size_t blk = 0; blk + K <= n; blk += K) {
-#pragma GCC ivdep
-        for (std::size_t j = 0; j < K; ++j) {
-            MultiFloat<T, N> xe;
-            MultiFloat<T, N> ye;
-            MultiFloat<T, N> acc;
-            for (int k = 0; k < N; ++k) {
-                xe.limb[k] = xp[k][blk + j];
-                ye.limb[k] = yp[k][blk + j];
-                acc.limb[k] = part[k][j];
-            }
-            const MultiFloat<T, N> z = add(acc, mul(xe, ye));
-            for (int k = 0; k < N; ++k) part[k][j] = z.limb[k];
-        }
-    }
-    MultiFloat<T, N> acc{};
-    for (std::size_t j = 0; j < K; ++j) {
-        MultiFloat<T, N> p;
-        for (int k = 0; k < N; ++k) p.limb[k] = part[k][j];
-        acc = add(acc, p);
-    }
-    for (std::size_t i = n - n % K; i < n; ++i) {
-        acc = add(acc, mul(x.get(i), y.get(i)));
-    }
-    return acc;
+    return simd::dot<T, N>(xp, yp, x.size());
 }
 
 /// y <- A x (A row-major n x m, planar): each output element is a planar
@@ -156,41 +112,20 @@ template <FloatingPoint T, int N>
 template <FloatingPoint T, int N>
 void gemv(const Vector<T, N>& a, std::size_t n, std::size_t m,
           const Vector<T, N>& x, Vector<T, N>& y) {
-    constexpr std::size_t K = 4;
     const T* ap[N];
     const T* xp[N];
     for (int p = 0; p < N; ++p) {
         ap[p] = a.plane(p);
         xp[p] = x.plane(p);
     }
-    for (std::size_t i = 0; i < n; ++i) {
-        T part[N][K] = {};
-        for (std::size_t blk = 0; blk + K <= m; blk += K) {
-#pragma GCC ivdep
-            for (std::size_t j = 0; j < K; ++j) {
-                MultiFloat<T, N> ae;
-                MultiFloat<T, N> xe;
-                MultiFloat<T, N> pe;
-                for (int p = 0; p < N; ++p) {
-                    ae.limb[p] = ap[p][i * m + blk + j];
-                    xe.limb[p] = xp[p][blk + j];
-                    pe.limb[p] = part[p][j];
-                }
-                const MultiFloat<T, N> z = add(pe, mul(ae, xe));
-                for (int p = 0; p < N; ++p) part[p][j] = z.limb[p];
-            }
+    // One backend resolve for all n row reductions.
+    simd::with_active_width<T>([&](auto w) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const T* arow[N];
+            for (int p = 0; p < N; ++p) arow[p] = ap[p] + i * m;
+            y.set(i, simd::kernels::dot<T, N, w()>(arow, xp, m));
         }
-        MultiFloat<T, N> acc{};
-        for (std::size_t j = 0; j < K; ++j) {
-            MultiFloat<T, N> p;
-            for (int pl = 0; pl < N; ++pl) p.limb[pl] = part[pl][j];
-            acc = add(acc, p);
-        }
-        for (std::size_t jj = m - m % K; jj < m; ++jj) {
-            acc = add(acc, mul(a.get(i * m + jj), x.get(jj)));
-        }
-        y.set(i, acc);
-    }
+    });
 }
 
 /// C <- A B, all planar, ikj order: the inner j-loop is an elementwise
@@ -204,19 +139,23 @@ void gemm(const Vector<T, N>& a, const Vector<T, N>& b, Vector<T, N>& c,
         bp[p] = b.plane(p);
         cp[p] = c.plane(p);
     }
-    for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t kk = 0; kk < k; ++kk) {
-            const MultiFloat<T, N> aik = a.get(i * k + kk);
-            // c[i, :] += aik * b[kk, :]
-            const T* brow[N];
-            T* crow[N];
-            for (int p = 0; p < N; ++p) {
-                brow[p] = bp[p] + kk * m;
-                crow[p] = cp[p] + i * m;
+    // Backend dispatch hoisted out of the loop nest: n*k short fma sweeps
+    // would otherwise re-resolve the active backend on every call.
+    simd::with_active_width<T>([&](auto w) {
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                const MultiFloat<T, N> aik = a.get(i * k + kk);
+                // c[i, :] += aik * b[kk, :]
+                const T* brow[N];
+                T* crow[N];
+                for (int p = 0; p < N; ++p) {
+                    brow[p] = bp[p] + kk * m;
+                    crow[p] = cp[p] + i * m;
+                }
+                simd::kernels::fma_range<T, N, w()>(aik, brow, crow, 0, m);
             }
-            detail::fma_range<T, N>(aik, brow, crow, 0, m);
         }
-    }
+    });
 }
 
 }  // namespace mf::planar

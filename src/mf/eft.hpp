@@ -24,10 +24,20 @@
 
 namespace mf {
 
-/// Constrains the scalar base types our networks operate on.
-/// (Extendable to e.g. __float128 or a software float that models IEEE RNE.)
+/// Customization point: which types may flow along FPAN wires. Scalar IEEE
+/// types qualify natively; other value types that behave like an IEEE scalar
+/// under +, -, * and fma (notably mf::simd::Pack<T, W>, which applies the
+/// identical correctly rounded operation to W lanes at once) opt in by
+/// specializing this variable template. Every gate below is pure +/-/*/fma
+/// straight-line code, so a lane-wise IEEE type runs the exact same network.
 template <typename T>
-concept FloatingPoint = std::floating_point<T>;
+inline constexpr bool is_fpan_value_v = std::floating_point<T>;
+
+/// Constrains the value types our networks operate on: scalars natively,
+/// SIMD packs (and e.g. a software float modeling IEEE RNE) by opt-in via
+/// is_fpan_value_v.
+template <typename T>
+concept FloatingPoint = is_fpan_value_v<T>;
 
 /// Result pair of an error-free addition: `sum` is the correctly rounded
 /// sum and `err` the exact rounding error, so that sum + err == a + b
@@ -79,8 +89,9 @@ template <FloatingPoint T>
 /// intermediate under/overflow).
 template <FloatingPoint T>
 [[nodiscard]] MF_ALWAYS_INLINE ProdErr<T> two_prod(T a, T b) noexcept {
+    using std::fma;  // unqualified: ADL picks up pack-level fma for SIMD types
     const T p = a * b;
-    return {p, std::fma(a, b, -p)};
+    return {p, fma(a, b, -p)};
 }
 
 /// ThreeSum: error-free compression of three addends into a leading part and

@@ -126,8 +126,9 @@ MF_ALWAYS_INLINE MultiFloat<T, 4> mul4(const MultiFloat<T, 4>& x, const MultiFlo
 template <FloatingPoint T>
 MultiFloat<T, 2> mul2_noncommutative(const MultiFloat<T, 2>& x,
                                      const MultiFloat<T, 2>& y) noexcept {
+    using std::fma;  // ADL: pack-level fma for SIMD value types
     const auto [p00, e00] = two_prod(x.limb[0], y.limb[0]);
-    const T t = std::fma(x.limb[0], y.limb[1], x.limb[1] * y.limb[0]);
+    const T t = fma(x.limb[0], y.limb[1], x.limb[1] * y.limb[0]);
     const T s = t + e00;
     const auto [z0, z1] = fast_two_sum(p00, s);
     return MultiFloat<T, 2>({z0, z1});

@@ -1,0 +1,18 @@
+#pragma once
+// Umbrella header for the mf::simd subsystem.
+//
+//   pack.hpp     Pack<T, W> vector value type (scalar fallback + SSE2/AVX2/
+//                AVX-512/NEON specializations); opts into mf::FloatingPoint
+//                so the FPAN networks instantiate over packs unchanged.
+//   backend.hpp  Backend enum, CPUID detection, MF_SIMD_BACKEND override,
+//                active_backend()/set_backend().
+//   kernels.hpp  Width-templated pack FPAN kernels (planar and AoS) with
+//                explicit scalar tail loops.
+//   dispatch.hpp Runtime dispatch from the active backend to the kernels.
+//   tiling.hpp   Blocked/tiled OpenMP-parallel GEMM driver on pack kernels.
+
+#include "backend.hpp"
+#include "dispatch.hpp"
+#include "kernels.hpp"
+#include "pack.hpp"
+#include "tiling.hpp"

@@ -1,0 +1,98 @@
+#pragma once
+// Blocked/tiled GEMM driver on top of the pack kernels: the multicore x SIMD
+// combination (cf. Verschelde, "Multiword Arithmetic and Parallel Computing")
+// layered over the planar layout.
+//
+// C += A B with A (n x k), B (k x m), C (n x m), all planar row-major.
+// The iteration space is partitioned into (ti x tj) output tiles with the
+// k dimension blocked by tk; within a tile the update is the ikj-order
+// fused multiply-add sweep c[i, j0:j1] += a[i,kk] * b[kk, j0:j1], executed
+// by the dispatched pack fma_range.
+//
+// Determinism: for every output element c[i, j] the kk updates execute in
+// ascending order exactly as in planar::gemm (tiles only re-group the i/j
+// dimensions and split kk into ascending blocks), and OpenMP threads
+// partition whole row-tiles, so each c element is owned by one thread. The
+// tiled result is therefore bit-identical to planar::gemm, threaded or not
+// (tests/simd_kernel_test.cpp asserts this).
+//
+// Nested parallelism: the omp parallel-for is suppressed when already inside
+// a parallel region (same guard discipline as mf::blas; see kernels.hpp
+// there), so composing this driver with parallel callers cannot oversubscribe.
+
+#include <cstddef>
+
+#include "../blas/planar.hpp"
+#include "dispatch.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace mf::simd {
+
+namespace detail {
+inline bool in_parallel() noexcept {
+#if defined(_OPENMP)
+    return omp_in_parallel() != 0;
+#else
+    return false;
+#endif
+}
+}  // namespace detail
+
+/// Tile shape: rows x columns of one C tile, and the k-block length.
+/// Defaults keep one tile's working set (a-block + b-block + c-tile) inside
+/// a few hundred KiB of L2 for double x N<=4.
+struct TileShape {
+    std::size_t ti = 32;
+    std::size_t tj = 256;
+    std::size_t tk = 64;
+};
+
+/// C += A B, planar, tiled, OpenMP-parallel over row-tiles.
+template <FloatingPoint T, int N>
+void gemm_tiled(const planar::Vector<T, N>& a, const planar::Vector<T, N>& b,
+                planar::Vector<T, N>& c, std::size_t n, std::size_t k,
+                std::size_t m, TileShape tile = {}) {
+    const std::size_t ti = tile.ti ? tile.ti : 1;
+    const std::size_t tj = tile.tj ? tile.tj : 1;
+    const std::size_t tk = tile.tk ? tile.tk : 1;
+    const T* ap[N];
+    const T* bp[N];
+    T* cp[N];
+    for (int p = 0; p < N; ++p) {
+        ap[p] = a.plane(p);
+        bp[p] = b.plane(p);
+        cp[p] = c.plane(p);
+    }
+    const std::size_t n_itiles = (n + ti - 1) / ti;
+    // Backend dispatch hoisted out of the tile loops (one resolve per call,
+    // not one per fma sweep).
+    with_active_width<T>([&](auto w) {
+#pragma omp parallel for schedule(static) \
+    if (n_itiles > 1 && !mf::simd::detail::in_parallel())
+        for (std::size_t it = 0; it < n_itiles; ++it) {
+            const std::size_t i1 = (it * ti + ti < n) ? it * ti + ti : n;
+            for (std::size_t j0 = 0; j0 < m; j0 += tj) {
+                const std::size_t j1 = (j0 + tj < m) ? j0 + tj : m;
+                for (std::size_t k0 = 0; k0 < k; k0 += tk) {
+                    const std::size_t k1 = (k0 + tk < k) ? k0 + tk : k;
+                    for (std::size_t i = it * ti; i < i1; ++i) {
+                        T* crow[N];
+                        for (int p = 0; p < N; ++p) crow[p] = cp[p] + i * m;
+                        for (std::size_t kk = k0; kk < k1; ++kk) {
+                            MultiFloat<T, N> aik;
+                            for (int p = 0; p < N; ++p) aik.limb[p] = ap[p][i * k + kk];
+                            const T* brow[N];
+                            for (int p = 0; p < N; ++p) brow[p] = bp[p] + kk * m;
+                            kernels::fma_range<T, N, w()>(aik, brow, crow, j0, j1);
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+}  // namespace mf::simd

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "mf/multifloats.hpp"
+#include "simd/backend.hpp"
+#include "simd/dispatch.hpp"
 
 using MF = mf::MultiFloat<double, 4>;
 
@@ -58,7 +60,13 @@ int main(int argc, char** argv) {
         }
     }
     if (stack.empty()) {
+        // Banner only on the no-input path: tool_mf_calc_rpn anchors its
+        // PASS_REGULAR_EXPRESSION at the start of RPN output.
         std::printf("usage: mf_calc <rpn tokens>   e.g.  mf_calc 2 sqrt\n");
+        std::printf("SIMD backend: %s (pack width %d x double, %d x float)\n",
+                    mf::simd::backend_name(mf::simd::active_backend()),
+                    mf::simd::active_width<double>(),
+                    mf::simd::active_width<float>());
         return 0;
     }
     for (const MF& v : stack) {
