@@ -1,0 +1,336 @@
+#pragma once
+// Per-op conformance runner: hammer one kernel with structure-aware inputs,
+// measure the observed relative error against the enforced bound table
+// (oracle.hpp), and keep a slack histogram plus the worst counterexample.
+//
+// Domain discipline: the paper's bounds hold when every intermediate of the
+// straight-line network stays strictly normal and finite (§4.4 -- expansions
+// extend precision, not exponent range). The runner therefore classifies
+// each generated input:
+//
+//   * in-domain      -> bound check against the oracle + nonoverlap check;
+//   * out-of-domain  -> the kernel must still be safe to call; specials are
+//                       additionally checked against the strict-IEEE
+//                       restoration layer (mf/ieee.hpp), which promises the
+//                       base type's own special-value semantics.
+//
+// Every run is reproducible from (op, type, N, seed, iters, cfg); the
+// counterexample carries the raw limbs so tools/mf_fuzz can re-shrink and
+// replay it.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <string>
+
+#include "../mf/ieee.hpp"
+#include "generators.hpp"
+#include "oracle.hpp"
+
+namespace mf::check {
+
+/// Histogram of bound slack: for each checked sample,
+/// slack = bound_bits - observed error bits = -rel_err_log2 - bound_bits...
+/// i.e. how many bits of headroom the kernel had below its contract.
+/// Bucket b counts samples with slack in [b, b+1); the last bucket absorbs
+/// everything wider. Exactly-representable results and violations are
+/// counted separately.
+struct SlackHistogram {
+    static constexpr int buckets = 32;
+    std::uint64_t bucket[buckets]{};
+    std::uint64_t exact = 0;       ///< error identically zero
+    std::uint64_t violations = 0;  ///< slack < 0: bound exceeded
+
+    void record(double slack_bits) noexcept {
+        if (std::isinf(slack_bits) && slack_bits > 0) {
+            ++exact;
+            return;
+        }
+        if (slack_bits < 0) {
+            ++violations;
+            return;
+        }
+        int b = static_cast<int>(slack_bits);
+        if (b >= buckets) b = buckets - 1;
+        ++bucket[b];
+    }
+};
+
+/// The raw limbs of the worst (or any failing) input pair, replayable.
+template <FloatingPoint T, int N>
+struct Counterexample {
+    MultiFloat<T, N> x{};
+    MultiFloat<T, N> y{};
+    double err_log2 = -std::numeric_limits<double>::infinity();
+    Category category = Category::ladder;
+    bool valid = false;
+};
+
+/// Aggregate result of one conformance run.
+struct RunStats {
+    Op op = Op::add;
+    std::string type;  ///< "double" | "float"
+    int limbs = 0;
+    int bound = 0;  ///< enforced bound in bits
+    std::uint64_t seed = 0;
+    std::uint64_t iters = 0;
+    std::uint64_t checked = 0;            ///< in-domain, bound-compared samples
+    std::uint64_t skipped_domain = 0;     ///< out-of-domain, safety-only samples
+    std::uint64_t special_checked = 0;    ///< special-input samples
+    std::uint64_t special_failures = 0;   ///< *_ieee propagation failures
+    std::uint64_t invariant_violations = 0;  ///< output not nonoverlapping
+    std::uint64_t violations = 0;            ///< bound exceeded
+    std::uint64_t per_category[category_count]{};
+    double worst_err_log2 = -std::numeric_limits<double>::infinity();
+    double worst_slack = std::numeric_limits<double>::infinity();
+    SlackHistogram hist;
+
+    [[nodiscard]] bool clean() const noexcept {
+        return violations == 0 && invariant_violations == 0 && special_failures == 0;
+    }
+};
+
+namespace detail {
+
+/// Every nonzero limb finite and far enough above the subnormal border that
+/// the EFT error terms it spawns stay normal too.
+template <FloatingPoint T, int N>
+[[nodiscard]] bool limbs_bound_safe(const MultiFloat<T, N>& v, int headroom_bits) {
+    constexpr int emin = std::numeric_limits<T>::min_exponent;
+    for (int i = 0; i < N; ++i) {
+        const T l = v.limb[i];
+        if (l == T(0)) continue;
+        if (!std::isfinite(l)) return false;
+        if (std::ilogb(l) < emin + headroom_bits) return false;
+    }
+    return true;
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] int min_nonzero_ilogb(const MultiFloat<T, N>& v) {
+    int m = std::numeric_limits<int>::max();
+    for (int i = 0; i < N; ++i) {
+        if (v.limb[i] != T(0) && std::isfinite(v.limb[i])) {
+            m = std::min(m, std::ilogb(v.limb[i]));
+        }
+    }
+    return m;
+}
+
+}  // namespace detail
+
+/// Conservative classification: true iff (x, y) is inside the exponent
+/// window where every intermediate of `op`'s network provably stays normal
+/// and finite, so the paper bound is contractual.
+template <FloatingPoint T, int N>
+[[nodiscard]] bool bound_domain(Op op, const MultiFloat<T, N>& x, const MultiFloat<T, N>& y) {
+    constexpr int p = std::numeric_limits<T>::digits;
+    constexpr int emin = std::numeric_limits<T>::min_exponent;
+    constexpr int emax = std::numeric_limits<T>::max_exponent;
+    const bool xz = x.is_zero();
+    const bool yz = y.is_zero();
+    switch (op) {
+        case Op::add:
+        case Op::sub: {
+            // TwoSum error terms are exact at any magnitude (no products), so
+            // addition only needs normal input limbs: every exact partial sum
+            // then lives on a representable grid, and truncating to N limbs
+            // is within the bound by the nonoverlap telescope. Headroom 2
+            // keeps the grid clear of the very last subnormal quantum.
+            if (!detail::limbs_bound_safe(x, 2) || !detail::limbs_bound_safe(y, 2))
+                return false;
+            const int ex = xz ? 0 : std::ilogb(x.limb[0]);
+            const int ey = yz ? 0 : std::ilogb(y.limb[0]);
+            return ex <= emax - 3 && ey <= emax - 3;
+        }
+        case Op::mul: {
+            if (!detail::limbs_bound_safe(x, 2) || !detail::limbs_bound_safe(y, 2))
+                return false;
+            if (xz || yz) return true;  // exact zero product
+            const int ex = std::ilogb(x.limb[0]);
+            const int ey = std::ilogb(y.limb[0]);
+            // Highest product above, lowest TwoProd error term and its
+            // accumulation error below: keep both strictly in range.
+            const int lo = detail::min_nonzero_ilogb(x) + detail::min_nonzero_ilogb(y);
+            return ex + ey <= emax - 3 && lo - 3 * p - 8 >= emin;
+        }
+        case Op::div: {
+            if (yz) return false;  // pole: handled as a special, not a bound
+            if (!detail::limbs_bound_safe(x, 2) || !detail::limbs_bound_safe(y, 2))
+                return false;
+            // The Newton/Karp-Markstein chain works in three frames: the
+            // reciprocal (~2^-ey), the quotient (~2^(ex-ey)), and the
+            // remainder (~2^ex). In each frame, terms more than bound+2 bits
+            // below the frame lead are irrelevant to the bound, and the only
+            // inexactness products can introduce is at the subnormal quantum
+            // 2^(emin-p). So the bound is contractual when each frame lead
+            // clears the quantum by bound + guard bits -- and nothing
+            // overflows. (A fixed window would be empty for float N=4, whose
+            // bound eats most of the type's sub-1.0 normal range.)
+            const int b = bound_bits(Op::div, p, N);
+            const int floor_e = emin - p + b + 4;  // min admissible frame lead
+            const int ey = std::ilogb(y.limb[0]);
+            if (-ey < floor_e || -ey > emax - 4 || ey > emax - 4 || ey < floor_e)
+                return false;
+            if (xz) return true;  // 0 / y: exact zero through a finite recip
+            const int ex = std::ilogb(x.limb[0]);
+            const int eq = ex - ey;  // quotient frame lead
+            if (ex > emax - 4 || eq > emax - 4) return false;
+            return ex >= floor_e && eq >= floor_e;
+        }
+        case Op::sqrt: {
+            if (xz) return true;  // exact: sqrt(0) == 0
+            if (x.limb[0] < T(0) || !detail::limbs_bound_safe(x, 2)) return false;
+            // Frames: remainder/radicand ~2^e, result ~2^(e/2), rsqrt
+            // ~2^(-e/2), and the iteration's squared term r*r ~2^-e. The
+            // binding ones are the symmetric pair (e, -e); the half-exponent
+            // frames are automatically inside them.
+            const int b = bound_bits(Op::sqrt, p, N);
+            const int floor_e = emin - p + b + 4;
+            const int e = std::ilogb(x.limb[0]);
+            return e <= emax - 4 && e >= floor_e && -e >= floor_e;
+        }
+    }
+    return false;
+}
+
+namespace detail {
+
+/// Does z faithfully embed what the base type would say about this special
+/// case? Checked through the strict-IEEE restoration layer, which is the
+/// documented contract for non-finite / signed-zero operands (§4.4).
+template <FloatingPoint T, int N>
+[[nodiscard]] bool special_semantics_ok(Op op, const MultiFloat<T, N>& x,
+                                        const MultiFloat<T, N>& y) {
+    T want{};
+    MultiFloat<T, N> z;
+    switch (op) {
+        case Op::add: want = x.limb[0] + y.limb[0]; z = add_ieee(x, y); break;
+        case Op::sub: want = x.limb[0] - y.limb[0]; z = sub_ieee(x, y); break;
+        case Op::mul: want = x.limb[0] * y.limb[0]; z = mul_ieee(x, y); break;
+        case Op::div: want = x.limb[0] / y.limb[0]; z = div_ieee(x, y); break;
+        case Op::sqrt: want = std::sqrt(x.limb[0]); z = sqrt_ieee(x); break;
+    }
+    if (std::isnan(want)) return std::isnan(z.limb[0]);
+    if (std::isinf(want)) return z.limb[0] == want;
+    if (want == T(0) && std::signbit(want)) {
+        return z.limb[0] == T(0) && std::signbit(z.limb[0]);
+    }
+    return true;  // finite, unsigned-zero results are the bound check's job
+}
+
+}  // namespace detail
+
+/// Fresh stats block for one (op, T, N) run.
+template <FloatingPoint T, int N>
+[[nodiscard]] RunStats make_stats(Op op, std::uint64_t seed) {
+    RunStats s;
+    s.op = op;
+    s.type = (sizeof(T) == 8) ? "double" : "float";
+    s.limbs = N;
+    s.bound = bound_bits(op, std::numeric_limits<T>::digits, N);
+    s.seed = seed;
+    return s;
+}
+
+/// Classify and check one sample, updating `s` (and the worst-case record
+/// if given). Shared by the random runner and the corpus replayer.
+template <FloatingPoint T, int N, typename Fn>
+void check_sample(Fn&& fn, Op op, const MultiFloat<T, N>& x, const MultiFloat<T, N>& y,
+                  Category cat, RunStats* s, Counterexample<T, N>* worst = nullptr) {
+    ++s->iters;
+    ++s->per_category[static_cast<int>(cat)];
+
+    if (!bound_domain(op, x, y)) {
+        ++s->skipped_domain;
+        // Out-of-domain calls must still be safe, and specials must
+        // round-trip the strict-IEEE layer faithfully.
+        (void)fn(op, x, y);
+        if (!x.is_finite() || !y.is_finite() || (op == Op::div && y.is_zero()) ||
+            (op == Op::sqrt && x.limb[0] < T(0))) {
+            ++s->special_checked;
+            if (!detail::special_semantics_ok(op, x, y)) ++s->special_failures;
+        }
+        return;
+    }
+
+    const MultiFloat<T, N> z = fn(op, x, y);
+    const BigFloat want = oracle(op, x, y);
+    ++s->checked;
+
+    bool failed = false;
+    double err = -std::numeric_limits<double>::infinity();
+    if (want.is_zero()) {
+        // Exact-zero reference: the branch-free networks compute it exactly
+        // (TwoSum/TwoProd are exact), so anything else is a violation with
+        // no meaningful relative error.
+        if (exact(z).is_zero()) {
+            s->hist.record(std::numeric_limits<double>::infinity());
+        } else {
+            ++s->violations;
+            ++s->hist.violations;
+            failed = true;
+            err = std::numeric_limits<double>::infinity();
+        }
+    } else {
+        err = rel_err_log2(z, want);
+        const double slack = -err - s->bound;
+        s->hist.record(slack);
+        if (err > s->worst_err_log2) s->worst_err_log2 = err;
+        if (slack < s->worst_slack) s->worst_slack = slack;
+        if (slack < 0) {
+            ++s->violations;
+            failed = true;
+        }
+    }
+    if (worst && (failed || !worst->valid || err > worst->err_log2)) {
+        worst->x = x;
+        worst->y = y;
+        worst->err_log2 = err;
+        worst->category = cat;
+        worst->valid = true;
+    }
+    if (!is_nonoverlapping(z)) ++s->invariant_violations;
+}
+
+/// Run `iters` fuzz iterations of `op` implemented by `fn` (signature of
+/// apply_op) at base type T, expansion length N. `fn` is a parameter so the
+/// fault-injection self-test can hand in a deliberately broken kernel and
+/// watch the runner catch it.
+template <FloatingPoint T, int N, typename Fn>
+[[nodiscard]] RunStats run_conformance_with(Fn&& fn, Op op, std::uint64_t seed,
+                                            std::uint64_t iters, const GenConfig& cfg = {},
+                                            Counterexample<T, N>* worst = nullptr) {
+    RunStats s = make_stats<T, N>(op, seed);
+    std::mt19937_64 rng(seed);
+    for (std::uint64_t it = 0; it < iters; ++it) {
+        const Category cat = pick_category(rng, cfg);
+        auto [x, y] = gen_pair<T, N>(rng, cat, cfg);
+        if (op == Op::sqrt) {
+            // Principal domain for bound checks; special-category inputs stay
+            // raw so sqrt(-Inf) etc. exercise the strict-IEEE path.
+            if (cat != Category::special) x = mf::abs(x);
+            y = MultiFloat<T, N>{};
+        }
+        if (op == Op::div && y.is_zero() && cat != Category::special) {
+            y = MultiFloat<T, N>(T(3));
+        }
+        check_sample(fn, op, x, y, cat, &s, worst);
+    }
+    return s;
+}
+
+/// Fuzz the library's own kernels.
+template <FloatingPoint T, int N>
+[[nodiscard]] RunStats run_conformance(Op op, std::uint64_t seed, std::uint64_t iters,
+                                       const GenConfig& cfg = {},
+                                       Counterexample<T, N>* worst = nullptr) {
+    return run_conformance_with<T, N>(
+        [](Op o, const MultiFloat<T, N>& x, const MultiFloat<T, N>& y) {
+            return apply_op(o, x, y);
+        },
+        op, seed, iters, cfg, worst);
+}
+
+}  // namespace mf::check

@@ -1,0 +1,98 @@
+// Line-oriented seed-corpus parser/writer (format in corpus.hpp).
+
+#include "corpus.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace mf::check {
+
+namespace {
+
+bool parse_limb(const std::string& tok, double* out) {
+    if (tok == "inf") {
+        *out = std::numeric_limits<double>::infinity();
+        return true;
+    }
+    if (tok == "-inf") {
+        *out = -std::numeric_limits<double>::infinity();
+        return true;
+    }
+    if (tok == "nan") {
+        *out = std::numeric_limits<double>::quiet_NaN();
+        return true;
+    }
+    char* end = nullptr;
+    *out = std::strtod(tok.c_str(), &end);
+    return end && *end == '\0' && end != tok.c_str();
+}
+
+void format_limb(std::FILE* f, double v) {
+    if (std::isnan(v)) {
+        std::fprintf(f, " nan");
+    } else if (std::isinf(v)) {
+        std::fprintf(f, " %s", v > 0 ? "inf" : "-inf");
+    } else {
+        std::fprintf(f, " %a", v);  // hex float: exact round-trip
+    }
+}
+
+}  // namespace
+
+bool load_corpus(const std::string& path, std::vector<CorpusEntry>* out) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (!f) return false;
+    char buf[4096];
+    int lineno = 0;
+    while (std::fgets(buf, sizeof buf, f)) {
+        ++lineno;
+        std::istringstream line(buf);
+        std::string tok;
+        if (!(line >> tok) || tok[0] == '#') continue;
+        CorpusEntry e;
+        bool ok = parse_op(tok, &e.op);
+        ok = ok && (line >> e.type) && (e.type == "double" || e.type == "float");
+        ok = ok && (line >> e.limbs) && e.limbs >= 1 && e.limbs <= 8;
+        for (int side = 0; ok && side < 2; ++side) {
+            std::vector<double>& limbs = side == 0 ? e.x : e.y;
+            for (int i = 0; ok && i < e.limbs; ++i) {
+                double v;
+                ok = static_cast<bool>(line >> tok) && parse_limb(tok, &v);
+                if (ok) limbs.push_back(v);
+            }
+        }
+        if (!ok) {
+            std::fprintf(stderr, "corpus %s:%d: malformed line skipped\n",
+                         path.c_str(), lineno);
+            continue;
+        }
+        out->push_back(std::move(e));
+    }
+    std::fclose(f);
+    return true;
+}
+
+bool save_corpus(const std::string& path, const std::vector<CorpusEntry>& entries,
+                 const std::string& header) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "corpus: cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "# mf::check seed corpus v1\n");
+    if (!header.empty()) std::fprintf(f, "# %s\n", header.c_str());
+    std::fprintf(f, "# <op> <type> <N> <x limbs...> <y limbs...>\n");
+    for (const CorpusEntry& e : entries) {
+        std::fprintf(f, "%s %s %d", op_name(e.op), e.type.c_str(), e.limbs);
+        for (double v : e.x) format_limb(f, v);
+        for (double v : e.y) format_limb(f, v);
+        std::fputc('\n', f);
+    }
+    std::fclose(f);
+    return true;
+}
+
+}  // namespace mf::check

@@ -1,0 +1,90 @@
+#pragma once
+// Seed-corpus IO for the conformance layer. A corpus file is a line-oriented
+// text format, one replayable input per line:
+//
+//   # comment
+//   <op> <type> <N> <x limb 0> ... <x limb N-1> <y limb 0> ... <y limb N-1>
+//
+// Limbs are hexadecimal floating-point literals (%a), which round-trip every
+// finite value exactly and read back with strtod; non-finite limbs are the
+// strings inf/-inf/nan. float-typed entries store their limbs as the exact
+// double embedding. The committed corpus lives in tests/corpus/ and is
+// replayed by tests/conformance_test.cpp and tools/mf_fuzz before any random
+// fuzzing, so once a counterexample is found and shrunk it stays found.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "conformance.hpp"
+
+namespace mf::check {
+
+/// One corpus line, type-erased to double limbs.
+struct CorpusEntry {
+    Op op = Op::add;
+    std::string type;  ///< "double" | "float"
+    int limbs = 0;
+    std::vector<double> x;  ///< `limbs` values
+    std::vector<double> y;  ///< `limbs` values
+};
+
+/// Parse a corpus file. Returns false if the file cannot be read; malformed
+/// lines are skipped with a warning on stderr.
+bool load_corpus(const std::string& path, std::vector<CorpusEntry>* out);
+
+/// Append entries to a corpus file (creating it), with a header comment.
+bool save_corpus(const std::string& path, const std::vector<CorpusEntry>& entries,
+                 const std::string& header);
+
+/// Typed view of an entry (entries of other type/N yield no value).
+template <FloatingPoint T, int N>
+[[nodiscard]] bool entry_as(const CorpusEntry& e, MultiFloat<T, N>* x,
+                            MultiFloat<T, N>* y) {
+    const char* want_type = sizeof(T) == 8 ? "double" : "float";
+    if (e.type != want_type || e.limbs != N) return false;
+    if (e.x.size() != static_cast<std::size_t>(N) ||
+        e.y.size() != static_cast<std::size_t>(N)) {
+        return false;
+    }
+    for (int i = 0; i < N; ++i) {
+        x->limb[i] = static_cast<T>(e.x[i]);
+        y->limb[i] = static_cast<T>(e.y[i]);
+    }
+    return true;
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] CorpusEntry make_entry(Op op, const MultiFloat<T, N>& x,
+                                     const MultiFloat<T, N>& y) {
+    CorpusEntry e;
+    e.op = op;
+    e.type = sizeof(T) == 8 ? "double" : "float";
+    e.limbs = N;
+    for (int i = 0; i < N; ++i) {
+        e.x.push_back(static_cast<double>(x.limb[i]));
+        e.y.push_back(static_cast<double>(y.limb[i]));
+    }
+    return e;
+}
+
+/// Replay every matching corpus entry through the same per-sample check the
+/// random runner applies. Returns the number of entries replayed.
+template <FloatingPoint T, int N>
+std::uint64_t replay_corpus(const std::vector<CorpusEntry>& entries, Op op,
+                            RunStats* stats, Counterexample<T, N>* worst = nullptr) {
+    std::uint64_t replayed = 0;
+    const auto fn = [](Op o, const MultiFloat<T, N>& a, const MultiFloat<T, N>& b) {
+        return apply_op(o, a, b);
+    };
+    for (const CorpusEntry& e : entries) {
+        if (e.op != op) continue;
+        MultiFloat<T, N> x, y;
+        if (!entry_as<T, N>(e, &x, &y)) continue;
+        ++replayed;
+        check_sample(fn, op, x, y, Category::ladder, stats, worst);
+    }
+    return replayed;
+}
+
+}  // namespace mf::check

@@ -1,0 +1,250 @@
+#pragma once
+// Cross-backend differential checker: the scalar FPAN kernels are the
+// reference semantics; every compiled SIMD backend, every pack width, and
+// every parallel schedule must reproduce them bit-for-bit (DESIGN.md §8's
+// bit-exactness rationale, checked here over the same structure-aware corpus
+// the conformance runner fuzzes with).
+//
+// Three surfaces are diffed:
+//   * elementwise planar kernels (add_range / fma_range) dispatched per
+//     runtime backend vs. the width-1 scalar kernel;
+//   * the dot reduction, which additionally pins the historical
+//     eight-accumulator merge order for widths <= 8;
+//   * gemm_tiled vs. sequential planar::gemm under varying OpenMP thread
+//     counts and inside an enclosing parallel region (nesting guard).
+//
+// Comparison is raw bit identity per limb, except that any-NaN == any-NaN:
+// lanes that produce NaN must agree on NaN-ness, not on payload bits.
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "../blas/planar.hpp"
+#include "../simd/simd.hpp"
+#include "../simd/tiling.hpp"
+#include "generators.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace mf::check {
+
+/// One diffed (kernel, backend/schedule) combination.
+struct DiffRecord {
+    std::string kernel;   ///< "add_range" | "fma_range" | "dot" | "gemm_tiled"
+    std::string type;     ///< "double" | "float"
+    int limbs = 0;
+    std::string backend;  ///< backend name, or "threads=K" / "nested" for gemm
+    int width = 0;        ///< pack lanes of the backend under test
+    std::uint64_t elements = 0;
+    std::uint64_t mismatches = 0;
+};
+
+namespace detail {
+
+template <typename T>
+using Bits = std::conditional_t<sizeof(T) == 8, std::uint64_t, std::uint32_t>;
+
+/// Bit identity with NaN-payload tolerance.
+template <typename T>
+[[nodiscard]] inline bool same_bits(T a, T b) noexcept {
+    if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+    return std::bit_cast<Bits<T>>(a) == std::bit_cast<Bits<T>>(b);
+}
+
+/// RAII backend save/restore.
+class BackendGuard {
+public:
+    BackendGuard() : saved_(simd::active_backend()) {}
+    ~BackendGuard() { simd::set_backend(saved_); }
+    BackendGuard(const BackendGuard&) = delete;
+    BackendGuard& operator=(const BackendGuard&) = delete;
+
+private:
+    simd::Backend saved_;
+};
+
+template <std::floating_point T, int N>
+void fill_vectors(std::mt19937_64& rng, std::size_t n, const GenConfig& cfg,
+                  planar::Vector<T, N>& v) {
+    v.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Category cat = pick_category(rng, cfg);
+        v.set(i, gen<T, N>(rng, cat == Category::cancellation ? Category::ladder : cat, cfg));
+    }
+}
+
+template <std::floating_point T, int N>
+[[nodiscard]] std::uint64_t count_mismatches(const planar::Vector<T, N>& a,
+                                             const planar::Vector<T, N>& b,
+                                             std::size_t n) {
+    std::uint64_t bad = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const MultiFloat<T, N> va = a.get(i);
+        const MultiFloat<T, N> vb = b.get(i);
+        for (int k = 0; k < N; ++k) {
+            if (!same_bits(va.limb[k], vb.limb[k])) {
+                ++bad;
+                break;
+            }
+        }
+    }
+    return bad;
+}
+
+}  // namespace detail
+
+/// Diff every available backend's elementwise kernels and dot reduction
+/// against the scalar width-1 reference over `rounds` corpora of `n`
+/// elements each (sizes are perturbed per round to exercise tails).
+/// A non-empty `only` restricts the sweep to that one backend by name.
+template <std::floating_point T, int N>
+[[nodiscard]] std::vector<DiffRecord> diff_backends(std::uint64_t seed, std::size_t n,
+                                                    int rounds, const GenConfig& cfg = {},
+                                                    std::string_view only = {}) {
+    const char* type = sizeof(T) == 8 ? "double" : "float";
+    std::vector<DiffRecord> out;
+    detail::BackendGuard guard;
+    for (simd::Backend b : {simd::Backend::scalar, simd::Backend::sse2,
+                            simd::Backend::avx2, simd::Backend::avx512,
+                            simd::Backend::neon}) {
+        if (!simd::backend_available(b)) continue;
+        if (!only.empty() && only != simd::backend_name(b)) continue;
+        DiffRecord add_rec{"add_range", type, N, simd::backend_name(b),
+                           simd::backend_width<T>(b), 0, 0};
+        DiffRecord fma_rec{"fma_range", type, N, simd::backend_name(b),
+                           simd::backend_width<T>(b), 0, 0};
+        DiffRecord dot_rec{"dot", type, N, simd::backend_name(b),
+                           simd::backend_width<T>(b), 0, 0};
+        std::mt19937_64 rng(seed);  // same corpus for every backend
+        for (int r = 0; r < rounds; ++r) {
+            const std::size_t len = n + static_cast<std::size_t>(rng() % 17);
+            planar::Vector<T, N> x, y, y2, z_ref, z_got;
+            detail::fill_vectors(rng, len, cfg, x);
+            detail::fill_vectors(rng, len, cfg, y);
+            const MultiFloat<T, N> alpha =
+                gen<T, N>(rng, Category::ladder, cfg);
+            z_ref.resize(len);
+            z_got.resize(len);
+            const T* xp[N];
+            const T* yp[N];
+            T* rp[N];
+            T* gp[N];
+            for (int k = 0; k < N; ++k) {
+                xp[k] = x.plane(k);
+                yp[k] = y.plane(k);
+                rp[k] = z_ref.plane(k);
+                gp[k] = z_got.plane(k);
+            }
+            // Reference: explicit width-1 scalar kernels.
+            simd::kernels::add_range<T, N, 1>(xp, yp, rp, 0, len);
+            const MultiFloat<T, N> dot_ref = simd::kernels::dot<T, N, 1>(xp, yp, len);
+            planar::Vector<T, N> fma_ref = y;
+            T* frp[N];
+            for (int k = 0; k < N; ++k) frp[k] = fma_ref.plane(k);
+            simd::kernels::fma_range<T, N, 1>(alpha, xp, frp, 0, len);
+
+            // Under test: the dispatched path on backend b.
+            simd::set_backend(b);
+            simd::add_range<T, N>(xp, yp, gp, 0, len);
+            add_rec.elements += len;
+            add_rec.mismatches += detail::count_mismatches(z_ref, z_got, len);
+
+            y2 = y;
+            T* y2p[N];
+            for (int k = 0; k < N; ++k) y2p[k] = y2.plane(k);
+            simd::fma_range<T, N>(alpha, xp, y2p, 0, len);
+            fma_rec.elements += len;
+            fma_rec.mismatches += detail::count_mismatches(fma_ref, y2, len);
+
+            const MultiFloat<T, N> dot_got = simd::dot<T, N>(xp, yp, len);
+            ++dot_rec.elements;
+            // The eight-accumulator merge order is pinned for widths <= 8;
+            // wider backends legitimately reassociate the reduction.
+            if (simd::backend_width<T>(b) <= 8) {
+                for (int k = 0; k < N; ++k) {
+                    if (!detail::same_bits(dot_got.limb[k], dot_ref.limb[k])) {
+                        ++dot_rec.mismatches;
+                        break;
+                    }
+                }
+            }
+        }
+        out.push_back(std::move(add_rec));
+        out.push_back(std::move(fma_rec));
+        out.push_back(std::move(dot_rec));
+    }
+    return out;
+}
+
+/// Diff gemm_tiled against sequential planar::gemm under each requested
+/// OpenMP thread count, plus one run nested inside an enclosing parallel
+/// region (which must fall back to sequential execution, not oversubscribe).
+template <std::floating_point T, int N>
+[[nodiscard]] std::vector<DiffRecord> diff_gemm_threads(
+    std::uint64_t seed, std::size_t n, std::size_t k, std::size_t m,
+    const std::vector<int>& thread_counts, const GenConfig& cfg = {}) {
+    const char* type = sizeof(T) == 8 ? "double" : "float";
+    std::mt19937_64 rng(seed);
+    planar::Vector<T, N> a, b;
+    detail::fill_vectors(rng, n * k, cfg, a);
+    detail::fill_vectors(rng, k * m, cfg, b);
+    planar::Vector<T, N> want(n * m);
+    planar::gemm(a, b, want, n, k, m);
+
+    std::vector<DiffRecord> out;
+    const simd::TileShape tile{4, 8, 5};  // ragged tiles: worst case for order bugs
+
+#if defined(_OPENMP)
+    const int saved_threads = omp_get_max_threads();
+#endif
+    for (int t : thread_counts) {
+#if defined(_OPENMP)
+        omp_set_num_threads(t);
+#else
+        if (t != 1) continue;
+#endif
+        planar::Vector<T, N> c(n * m);
+        simd::gemm_tiled(a, b, c, n, k, m, tile);
+        DiffRecord rec{"gemm_tiled", type, N, "threads=" + std::to_string(t),
+                       simd::active_width<T>(), n * m,
+                       detail::count_mismatches(c, want, n * m)};
+        out.push_back(std::move(rec));
+    }
+#if defined(_OPENMP)
+    omp_set_num_threads(saved_threads);
+    {
+        // Nested: every thread of an enclosing region issues its own GEMM;
+        // the omp_in_parallel() guard must serialize each one.
+        planar::Vector<T, N> c0(n * m), c1(n * m);
+        planar::Vector<T, N>* cs[2] = {&c0, &c1};
+        bool done[2] = {false, false};
+        bool was_parallel = false;
+#pragma omp parallel num_threads(2)
+        {
+            const int id = omp_get_thread_num();
+#pragma omp critical
+            was_parallel = was_parallel || omp_in_parallel() != 0;
+            if (id < 2) {
+                simd::gemm_tiled(a, b, *cs[id], n, k, m, tile);
+                done[id] = true;
+            }
+        }
+        DiffRecord rec{"gemm_tiled", type, N, "nested", simd::active_width<T>(), 0, 0};
+        for (int id = 0; id < 2; ++id) {
+            if (!done[id]) continue;
+            rec.elements += n * m;
+            rec.mismatches += detail::count_mismatches(*cs[id], want, n * m);
+        }
+        if (!was_parallel) rec.backend = "nested(no-omp)";
+        out.push_back(std::move(rec));
+    }
+#endif
+    return out;
+}
+
+}  // namespace mf::check

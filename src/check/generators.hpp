@@ -1,0 +1,297 @@
+#pragma once
+// Structure-aware input generation for the mf::check conformance layer.
+//
+// The FPAN error bounds are worst-case claims, and the companion CAV'25
+// verification work shows the worst cases live in narrow structural corners:
+// sums that straddle a power of two, near-total cancellation, limbs parked
+// exactly on the half-ulp nonoverlap boundary, and expansions whose tails
+// descend into gradual underflow (where termwise EFTs stop being exact,
+// paper §4.4). Uniform random inputs almost never land there, so every
+// generator here manufactures one corner deliberately and the conformance
+// runner mixes them by weight.
+//
+// All generators return *valid* strictly nonoverlapping expansions (Eq. 8)
+// unless the category is Category::special, which produces the Inf/NaN/
+// signed-zero embeddings the raw kernels explicitly do not promise to
+// handle (the *_ieee wrappers do; see mf/ieee.hpp).
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <utility>
+
+#include "../mf/multifloat.hpp"
+
+namespace mf::check {
+
+/// Structural corner a generated input aims at.
+enum class Category : int {
+    ladder = 0,     ///< random gap ladder, tight to sparse (the general case)
+    straddle,       ///< leading limb hugs a power of two from either side
+    cancellation,   ///< pairwise: y ~ -x with one limb nudged
+    boundary,       ///< |limb[i]| == (1/2) ulp(limb[i-1]) exactly (Eq. 8 edge)
+    subnormal,      ///< tail (or lead) limbs inside gradual underflow
+    near_overflow,  ///< leading exponent a few steps below overflow
+    special,        ///< Inf / NaN / signed-zero embeddings
+};
+inline constexpr int category_count = 7;
+
+[[nodiscard]] constexpr const char* category_name(Category c) noexcept {
+    switch (c) {
+        case Category::ladder: return "ladder";
+        case Category::straddle: return "straddle";
+        case Category::cancellation: return "cancellation";
+        case Category::boundary: return "boundary";
+        case Category::subnormal: return "subnormal";
+        case Category::near_overflow: return "near_overflow";
+        case Category::special: return "special";
+    }
+    return "?";
+}
+
+/// Knobs for the generators. The three domain extensions are off by default
+/// because the paper's bounds assume every limb stays strictly normal and
+/// finite (§4.4): callers that only want bound-checkable inputs get exactly
+/// the historical adversarial distribution, callers probing the full domain
+/// opt in.
+struct GenConfig {
+    int lead_min = -30;  ///< leading-limb exponent range (ldexp scale)
+    int lead_max = 30;
+    bool subnormals = false;     ///< emit Category::subnormal inputs
+    bool near_overflow = false;  ///< emit Category::near_overflow inputs
+    bool specials = false;       ///< emit Category::special inputs
+};
+
+namespace detail {
+
+template <FloatingPoint T>
+[[nodiscard]] inline T uniform_mantissa(std::mt19937_64& rng) {
+    std::uniform_real_distribution<T> u(T(1), T(2));
+    return u(rng);
+}
+
+}  // namespace detail
+
+/// Clamp trailing limbs so the expansion satisfies strict nonoverlap
+/// (|lo| < (1/2) ulp(hi)), occasionally placing a limb exactly on the
+/// allowed |lo| == (1/2) ulp(hi) boundary (a power of two). Limbs after a
+/// zero limb are zeroed (canonical form). Safe on subnormal limbs: ldexp
+/// below the subnormal floor flushes the limb to zero.
+template <FloatingPoint T, int N>
+void enforce_nonoverlap(MultiFloat<T, N>& x, std::mt19937_64& rng,
+                        bool exact_boundary_jitter = true) {
+    constexpr int p = std::numeric_limits<T>::digits;
+    for (int i = 1; i < N; ++i) {
+        const T hi = x.limb[i - 1];
+        T& lo = x.limb[i];
+        if (hi == T(0) || !std::isfinite(hi)) {
+            lo = T(0);
+            continue;
+        }
+        if (lo == T(0)) continue;
+        const int cap = std::ilogb(hi) - p - 1;
+        if (std::ilogb(lo) > cap) lo = std::ldexp(lo, cap - std::ilogb(lo));
+        if (exact_boundary_jitter && rng() % 17 == 0) {
+            lo = std::copysign(std::ldexp(T(1), cap + 1), lo);
+        }
+    }
+}
+
+/// Random gap ladder: random signs, limb-to-limb exponent gaps from tight
+/// (p) to sparse (2p + 12), occasional zero tails. This is the historical
+/// tests/support.hpp adversarial distribution, with the hardcoded
+/// "stay clear of subnormals" cutoff now governed by cfg.subnormals.
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> gen_ladder(std::mt19937_64& rng, const GenConfig& cfg,
+                                          int lead_exp) {
+    constexpr int p = std::numeric_limits<T>::digits;
+    std::uniform_int_distribution<int> gapd(0, 12);
+    MultiFloat<T, N> x{};
+    int e = lead_exp;
+    for (int i = 0; i < N; ++i) {
+        if (i > 0 && rng() % 6 == 0) break;
+        // Without the subnormal extension, stop before any limb could land
+        // in gradual underflow: termwise EFTs are only exact on normals.
+        if (!cfg.subnormals && e < std::numeric_limits<T>::min_exponent + p) break;
+        if (e < std::numeric_limits<T>::min_exponent - p) break;  // would flush to 0
+        x.limb[i] = std::ldexp(detail::uniform_mantissa<T>(rng) * (rng() % 2 ? T(1) : T(-1)), e);
+        e -= p + gapd(rng) + (rng() % 3 == 0 ? p : 0);
+    }
+    enforce_nonoverlap(x, rng);
+    return x;
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> gen_ladder(std::mt19937_64& rng, const GenConfig& cfg) {
+    std::uniform_int_distribution<int> lead(cfg.lead_min, cfg.lead_max);
+    return gen_ladder<T, N>(rng, cfg, lead(rng));
+}
+
+/// Leading limb parked right at a power of two: either 2^e * (1 + k ulps)
+/// just above, or nextafter(2^e, 0) side just below. Sums and products of
+/// such values straddle the exponent boundary where ulp() halves -- the
+/// regime where renormalization carries propagate furthest.
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> gen_straddle(std::mt19937_64& rng, const GenConfig& cfg) {
+    constexpr int p = std::numeric_limits<T>::digits;
+    std::uniform_int_distribution<int> lead(cfg.lead_min, cfg.lead_max);
+    const int e = lead(rng);
+    const int k = static_cast<int>(rng() % 4);  // ulps of offset from 2^e
+    T m;
+    if (rng() % 2) {
+        m = T(1) + std::ldexp(T(k), -(p - 1));  // just above 2^e
+    } else {
+        m = T(2) - std::ldexp(T(1 + k), -(p - 1));  // just below 2^(e+1)
+    }
+    MultiFloat<T, N> x{};
+    x.limb[0] = std::copysign(std::ldexp(m, e), rng() % 2 ? T(1) : T(-1));
+    int le = e - p - static_cast<int>(rng() % 3);
+    for (int i = 1; i < N; ++i) {
+        if (rng() % 4 == 0) break;
+        if (!cfg.subnormals && le < std::numeric_limits<T>::min_exponent + p) break;
+        x.limb[i] = std::ldexp(detail::uniform_mantissa<T>(rng) * (rng() % 2 ? T(1) : T(-1)), le);
+        le -= p + static_cast<int>(rng() % 3);
+    }
+    enforce_nonoverlap(x, rng, /*exact_boundary_jitter=*/false);
+    return x;
+}
+
+/// Every trailing limb exactly on the Eq. 8 equality edge:
+/// |limb[i]| == (1/2) ulp(limb[i-1]) == 2^(ilogb(limb[i-1]) - p).
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> gen_boundary(std::mt19937_64& rng, const GenConfig& cfg) {
+    constexpr int p = std::numeric_limits<T>::digits;
+    std::uniform_int_distribution<int> lead(cfg.lead_min, cfg.lead_max);
+    MultiFloat<T, N> x{};
+    int e = lead(rng);
+    x.limb[0] = std::ldexp(detail::uniform_mantissa<T>(rng) * (rng() % 2 ? T(1) : T(-1)), e);
+    for (int i = 1; i < N; ++i) {
+        const int be = std::ilogb(x.limb[i - 1]) - p;
+        if (be < std::numeric_limits<T>::min_exponent - 1 ||
+            (!cfg.subnormals && be < std::numeric_limits<T>::min_exponent + p)) {
+            break;
+        }
+        x.limb[i] = std::copysign(std::ldexp(T(1), be), rng() % 2 ? T(1) : T(-1));
+    }
+    return x;
+}
+
+/// Gradual underflow: either the tail descends through the subnormal range,
+/// or (1 in 4) the leading limb itself is subnormal. Requires cfg.subnormals
+/// semantics from the caller -- the paper's bounds do NOT apply here.
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> gen_subnormal(std::mt19937_64& rng, const GenConfig& cfg) {
+    constexpr int p = std::numeric_limits<T>::digits;
+    constexpr int emin = std::numeric_limits<T>::min_exponent;  // e.g. -1021 for double
+    GenConfig sub = cfg;
+    sub.subnormals = true;
+    if (rng() % 4 == 0) {
+        // Subnormal-leading: value in (0, 2^emin).
+        MultiFloat<T, N> x{};
+        const int e = emin - 2 - static_cast<int>(rng() % static_cast<unsigned>(p - 1));
+        x.limb[0] = std::ldexp(detail::uniform_mantissa<T>(rng) * (rng() % 2 ? T(1) : T(-1)), e);
+        return x;  // tail below a subnormal lead flushes to zero anyway
+    }
+    // Normal lead chosen so limb N-1 lands at or below the subnormal border.
+    const int span = (N - 1) * (p + 4) + static_cast<int>(rng() % p);
+    return gen_ladder<T, N>(rng, sub, emin + span - static_cast<int>(rng() % (2 * p)));
+}
+
+/// Leading exponent a few doublings below overflow; sums/products of two of
+/// these probe the effective overflow threshold ("one machine epsilon below
+/// the base type's", README semantics caveats).
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> gen_near_overflow(std::mt19937_64& rng, const GenConfig& cfg) {
+    constexpr int emax = std::numeric_limits<T>::max_exponent;  // 1024 for double
+    GenConfig wide = cfg;
+    const int e = emax - 1 - static_cast<int>(rng() % 6);  // ilogb in [emax-6, emax-1]
+    return gen_ladder<T, N>(rng, wide, e);
+}
+
+/// Inf / NaN / signed-zero embeddings: a special leading limb with a zero
+/// tail (the canonical embedding of the special into an expansion).
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> gen_special(std::mt19937_64& rng, const GenConfig&) {
+    MultiFloat<T, N> x{};
+    switch (rng() % 5) {
+        case 0: x.limb[0] = std::numeric_limits<T>::infinity(); break;
+        case 1: x.limb[0] = -std::numeric_limits<T>::infinity(); break;
+        case 2: x.limb[0] = std::numeric_limits<T>::quiet_NaN(); break;
+        case 3: x.limb[0] = T(0); break;
+        case 4: x.limb[0] = -T(0); break;
+    }
+    return x;
+}
+
+/// y ~ -x with one limb nudged: maximal cancellation through the networks.
+/// The nudged limb may land one ulp past the strict Eq. 8 boundary -- an
+/// intentional stressor (the kernels must renormalize such
+/// boundary-straddling inputs, and the bounds must survive them), so the
+/// partner is the one non-special generator output that is not guaranteed
+/// strictly nonoverlapping.
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> cancellation_partner(const MultiFloat<T, N>& x,
+                                                    std::mt19937_64& rng) {
+    MultiFloat<T, N> y = -x;
+    const auto k = static_cast<int>(rng() % static_cast<unsigned>(N));
+    if (y.limb[k] != T(0) && std::isfinite(y.limb[k])) {
+        y.limb[k] = std::nextafter(y.limb[k], rng() % 2 ? T(4) : T(-4));
+    }
+    return y;
+}
+
+/// Weighted category pick honoring the cfg domain extensions. Disabled
+/// categories fold back into the ladder bucket, so the weights of the
+/// always-on structural corners are unchanged by the flags.
+[[nodiscard]] inline Category pick_category(std::mt19937_64& rng, const GenConfig& cfg) {
+    const unsigned r = static_cast<unsigned>(rng() % 100);
+    if (r < 45) return Category::ladder;
+    if (r < 60) return Category::straddle;
+    if (r < 75) return Category::cancellation;
+    if (r < 85) return Category::boundary;
+    if (r < 91) return cfg.subnormals ? Category::subnormal : Category::ladder;
+    if (r < 96) return cfg.near_overflow ? Category::near_overflow : Category::ladder;
+    return cfg.specials ? Category::special : Category::ladder;
+}
+
+/// One expansion of the requested category.
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> gen(std::mt19937_64& rng, Category cat,
+                                   const GenConfig& cfg = {}) {
+    switch (cat) {
+        case Category::straddle: return gen_straddle<T, N>(rng, cfg);
+        case Category::boundary: return gen_boundary<T, N>(rng, cfg);
+        case Category::subnormal: return gen_subnormal<T, N>(rng, cfg);
+        case Category::near_overflow: return gen_near_overflow<T, N>(rng, cfg);
+        case Category::special: return gen_special<T, N>(rng, cfg);
+        case Category::ladder:
+        case Category::cancellation:  // pairwise structure; x itself is a ladder
+            break;
+    }
+    return gen_ladder<T, N>(rng, cfg);
+}
+
+/// An operand pair of the given category. For Category::cancellation the
+/// second operand is the nudged negation of the first (maximal cancellation
+/// through an addition network); for Category::straddle the pair brackets
+/// the same power of two from both sides so x + y crosses it.
+template <FloatingPoint T, int N>
+[[nodiscard]] std::pair<MultiFloat<T, N>, MultiFloat<T, N>> gen_pair(
+    std::mt19937_64& rng, Category cat, const GenConfig& cfg = {}) {
+    MultiFloat<T, N> x = gen<T, N>(rng, cat, cfg);
+    if (cat == Category::cancellation) {
+        return {x, cancellation_partner(x, rng)};
+    }
+    if (cat == Category::straddle && rng() % 2 == 0 && std::isfinite(x.limb[0]) &&
+        x.limb[0] != T(0)) {
+        // Bracket the power of two 2^e nearest x's lead from the other side.
+        MultiFloat<T, N> y = gen<T, N>(rng, Category::ladder, cfg);
+        y.limb[0] = std::copysign(std::ldexp(T(1), std::ilogb(x.limb[0])), -x.limb[0]);
+        enforce_nonoverlap(y, rng, false);
+        return {x, y};
+    }
+    return {x, gen<T, N>(rng, cat, cfg)};
+}
+
+}  // namespace mf::check

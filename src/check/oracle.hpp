@@ -1,0 +1,132 @@
+#pragma once
+// Oracle glue and the enforced error-bound table for the mf::check
+// conformance layer.
+//
+// Every fuzzed operation is compared against the exact BigFloat oracle
+// (src/bigfloat/), which is itself cross-validated bit-for-bit against IEEE
+// hardware and __float128 (tests/bigfloat_test.cpp). The bound table below
+// is the paper's worst-case relative-error claim per kernel, in bits below
+// the result:
+//
+//   op    N=2        N>=3         source
+//   add   2p-1       Np-N         Fig. 2 proof / §4.1 empirical bounds
+//   mul   2p-3       Np-N         Fig. 5 proof / §4.2 empirical bounds
+//   div   Np-N-4     Np-N-4       §4.3 Newton + Karp-Markstein correction
+//   sqrt  Np-N-4     Np-N-4       §4.3 (same convergence argument)
+//
+// div/sqrt concede 4 bits to the final correction step -- the same margin
+// the seed test suite has always enforced (tests/divsqrt_test.cpp).
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+#include "../bigfloat/bigfloat.hpp"
+#include "../mf/multifloats.hpp"
+
+namespace mf::check {
+
+using big::BigFloat;
+
+/// The fuzzable kernels.
+enum class Op : int { add = 0, sub, mul, div, sqrt };
+inline constexpr int op_count = 5;
+
+[[nodiscard]] constexpr const char* op_name(Op op) noexcept {
+    switch (op) {
+        case Op::add: return "add";
+        case Op::sub: return "sub";
+        case Op::mul: return "mul";
+        case Op::div: return "div";
+        case Op::sqrt: return "sqrt";
+    }
+    return "?";
+}
+
+[[nodiscard]] inline bool parse_op(std::string_view name, Op* out) noexcept {
+    for (Op op : {Op::add, Op::sub, Op::mul, Op::div, Op::sqrt}) {
+        if (name == op_name(op)) {
+            *out = op;
+            return true;
+        }
+    }
+    return false;
+}
+
+/// Is the operation unary (ignores its second operand)?
+[[nodiscard]] constexpr bool op_is_unary(Op op) noexcept { return op == Op::sqrt; }
+
+/// Enforced worst-case relative error bound, in bits: |err| <= 2^-bound |z|.
+[[nodiscard]] constexpr int bound_bits(Op op, int p, int N) noexcept {
+    switch (op) {
+        case Op::add:
+        case Op::sub:
+            return N == 2 ? 2 * p - 1 : N * p - N;
+        case Op::mul:
+            return N == 2 ? 2 * p - 3 : N * p - N;
+        case Op::div:
+        case Op::sqrt:
+            return N * p - N - 4;
+    }
+    return 0;
+}
+
+/// Exact value of an expansion as a BigFloat (non-finite limbs excluded;
+/// callers must gate on is_finite() for bound checks).
+template <FloatingPoint T, int N>
+[[nodiscard]] BigFloat exact(const MultiFloat<T, N>& x) {
+    BigFloat acc;
+    for (int i = 0; i < N; ++i) {
+        if (std::isfinite(x.limb[i])) {
+            acc = acc + BigFloat::from_double(static_cast<double>(x.limb[i]));
+        }
+    }
+    return acc;
+}
+
+/// log2 of |value(z) - want| / |want|: -inf if exact, +inf if want == 0 but
+/// z != 0 (a categorical failure for an exact-cancellation case).
+template <FloatingPoint T, int N>
+[[nodiscard]] double rel_err_log2(const MultiFloat<T, N>& z, const BigFloat& want) {
+    const BigFloat err = exact(z) - want;
+    if (err.is_zero()) return -std::numeric_limits<double>::infinity();
+    if (want.is_zero()) return std::numeric_limits<double>::infinity();
+    const BigFloat rel = BigFloat::div(err.abs(), want.abs(), 64);
+    return std::log2(std::abs(rel.to_double()));
+}
+
+/// Working precision for oracle div/sqrt: comfortably past every bound.
+[[nodiscard]] constexpr std::int64_t oracle_prec(int p, int N) noexcept {
+    return static_cast<std::int64_t>(N) * p + 24;
+}
+
+/// The exact (or correctly rounded at oracle_prec) reference result.
+template <FloatingPoint T, int N>
+[[nodiscard]] BigFloat oracle(Op op, const MultiFloat<T, N>& x, const MultiFloat<T, N>& y) {
+    constexpr int p = std::numeric_limits<T>::digits;
+    switch (op) {
+        case Op::add: return exact(x) + exact(y);
+        case Op::sub: return exact(x) - exact(y);
+        case Op::mul: return exact(x) * exact(y);
+        case Op::div: return BigFloat::div(exact(x), exact(y), oracle_prec(p, N));
+        case Op::sqrt: return BigFloat::sqrt(exact(x), oracle_prec(p, N));
+    }
+    return {};
+}
+
+/// The implementation under test.
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> apply_op(Op op, const MultiFloat<T, N>& x,
+                                        const MultiFloat<T, N>& y) {
+    switch (op) {
+        case Op::add: return mf::add(x, y);
+        case Op::sub: return mf::sub(x, y);
+        case Op::mul: return mf::mul(x, y);
+        case Op::div: return mf::div(x, y);
+        case Op::sqrt: return mf::sqrt(x);
+    }
+    return {};
+}
+
+}  // namespace mf::check

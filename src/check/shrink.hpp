@@ -1,0 +1,145 @@
+#pragma once
+// Counterexample shrinking: reduce a failing input pair to a minimal form
+// while a caller-supplied predicate (pred(x, y) == true means "still fails")
+// keeps holding. Deterministic greedy descent to a fixpoint over four move
+// families, cheapest-to-read first:
+//
+//   1. zero a limb                 (fewer terms)
+//   2. strip a limb's mantissa     (limb -> +-2^ilogb, one significant bit)
+//   3. halve a limb's mantissa     (clear the low half of the fraction bits)
+//   4. rescale both operands       (shift the common exponent toward zero)
+//
+// The result is 1-minimal under limb deletion: no single limb of either
+// operand can be zeroed without losing the failure. Since an expansion has
+// at most N limbs per operand, the shrunk counterexample is a <= N-limb
+// witness by construction -- and usually far smaller, with single-bit limbs
+// and exponents near zero, which makes the failing gate sequence readable
+// by hand. The fault-injection self-test (tests/conformance_test.cpp,
+// tools/mf_fuzz --self-test) verifies both properties on a deliberately
+// broken kernel.
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "../mf/multifloats.hpp"
+
+namespace mf::check {
+
+namespace detail {
+
+/// Keep only the top `keep` significand bits of a finite nonzero limb.
+template <FloatingPoint T>
+[[nodiscard]] T truncate_mantissa(T v, int keep) {
+    constexpr int p = std::numeric_limits<T>::digits;
+    if (keep >= p || v == T(0) || !std::isfinite(v)) return v;
+    const int e = std::ilogb(v);
+    // Scale the significand to an integer with `keep` bits, drop the rest.
+    const T scaled = std::ldexp(v, keep - 1 - e);
+    return std::ldexp(std::trunc(scaled), e - keep + 1);
+}
+
+template <FloatingPoint T, int N>
+[[nodiscard]] int nonzero_limbs(const MultiFloat<T, N>& v) {
+    int c = 0;
+    for (int i = 0; i < N; ++i) c += (v.limb[i] != T(0));
+    return c;
+}
+
+}  // namespace detail
+
+/// Number of nonzero limbs across both operands: the shrinker's size metric.
+template <FloatingPoint T, int N>
+[[nodiscard]] int shrink_size(const MultiFloat<T, N>& x, const MultiFloat<T, N>& y) {
+    return detail::nonzero_limbs(x) + detail::nonzero_limbs(y);
+}
+
+/// Shrink (x, y) while pred(x, y) stays true. Returns the shrunk pair;
+/// pred(result) is guaranteed true (the input itself must satisfy pred).
+template <FloatingPoint T, int N, typename Pred>
+[[nodiscard]] std::pair<MultiFloat<T, N>, MultiFloat<T, N>> shrink(
+    MultiFloat<T, N> x, MultiFloat<T, N> y, Pred&& pred, int max_rounds = 64) {
+    constexpr int p = std::numeric_limits<T>::digits;
+    const auto try_move = [&](MultiFloat<T, N> nx, MultiFloat<T, N> ny) {
+        if (pred(nx, ny)) {
+            x = nx;
+            y = ny;
+            return true;
+        }
+        return false;
+    };
+    for (int round = 0; round < max_rounds; ++round) {
+        bool changed = false;
+        // Move 1: zero limbs, least significant first (most likely to be
+        // inessential), then most significant (drops whole magnitude tiers).
+        for (MultiFloat<T, N>* v : {&x, &y}) {
+            for (int i = N - 1; i >= 0; --i) {
+                if (v->limb[i] == T(0)) continue;
+                MultiFloat<T, N> nx = x;
+                MultiFloat<T, N> ny = y;
+                (v == &x ? nx : ny).limb[i] = T(0);
+                changed |= try_move(nx, ny);
+            }
+        }
+        // Move 2: strip a limb to a single significant bit.
+        for (MultiFloat<T, N>* v : {&x, &y}) {
+            for (int i = 0; i < N; ++i) {
+                const T l = v->limb[i];
+                if (l == T(0) || !std::isfinite(l)) continue;
+                const T stripped = std::copysign(std::ldexp(T(1), std::ilogb(l)), l);
+                if (stripped == l) continue;
+                MultiFloat<T, N> nx = x;
+                MultiFloat<T, N> ny = y;
+                (v == &x ? nx : ny).limb[i] = stripped;
+                changed |= try_move(nx, ny);
+            }
+        }
+        // Move 3: halve a limb's mantissa width.
+        for (MultiFloat<T, N>* v : {&x, &y}) {
+            for (int i = 0; i < N; ++i) {
+                const T l = v->limb[i];
+                if (l == T(0) || !std::isfinite(l)) continue;
+                const T halved = detail::truncate_mantissa(l, (p + 1) / 2);
+                if (halved == l || halved == T(0)) continue;
+                MultiFloat<T, N> nx = x;
+                MultiFloat<T, N> ny = y;
+                (v == &x ? nx : ny).limb[i] = halved;
+                changed |= try_move(nx, ny);
+            }
+        }
+        // Move 4: rescale toward exponent zero. Scaling both operands by the
+        // same power of two is exact and commutes with add/sub (and rescales
+        // mul/div results exactly), so failures usually survive it.
+        if (x.limb[0] != T(0) && std::isfinite(x.limb[0])) {
+            const int e = std::ilogb(x.limb[0]);
+            if (e != 0) {
+                for (int step : {e, e / 2, (e > 0 ? 1 : -1)}) {
+                    if (step == 0) continue;
+                    changed |= try_move(mf::ldexp(x, -step), mf::ldexp(y, -step));
+                }
+            }
+        }
+        if (!changed) break;
+    }
+    return {x, y};
+}
+
+/// Is (x, y) 1-minimal for pred under limb deletion? (Every single-limb
+/// zeroing loses the failure.) The self-test asserts this on shrink output.
+template <FloatingPoint T, int N, typename Pred>
+[[nodiscard]] bool shrink_is_minimal(const MultiFloat<T, N>& x, const MultiFloat<T, N>& y,
+                                     Pred&& pred) {
+    for (int side = 0; side < 2; ++side) {
+        for (int i = 0; i < N; ++i) {
+            MultiFloat<T, N> nx = x;
+            MultiFloat<T, N> ny = y;
+            MultiFloat<T, N>& v = side == 0 ? nx : ny;
+            if (v.limb[i] == T(0)) continue;
+            v.limb[i] = T(0);
+            if (pred(nx, ny)) return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace mf::check

@@ -71,12 +71,27 @@ template <FloatingPoint T, int N>
 }
 
 /// Division with IEEE special-value semantics: x/0 = +-Inf, 0/0 = NaN,
-/// x/Inf = +-0, with correct signs -- the base type decides.
+/// x/Inf = +-0, with correct signs -- the base type decides. Unlike the
+/// other wrappers, the fixup must also trigger on a non-finite *divisor*
+/// with a finite scalar quotient (x/Inf = +-0): the scalar result alone
+/// looks benign, but the Newton recurrence turns recip(Inf) = 0 into
+/// Inf * 0 = NaN limbs.
 template <FloatingPoint T, int N>
 [[nodiscard]] MultiFloat<T, N> div_ieee(const MultiFloat<T, N>& b,
                                         const MultiFloat<T, N>& a) noexcept {
     const T scalar = b.limb[0] / a.limb[0];
-    return detail::select(detail::needs_ieee_fixup(scalar), scalar, div(b, a));
+    const bool fixup = detail::needs_ieee_fixup(scalar) || !std::isfinite(a.limb[0]);
+    return detail::select(fixup, scalar, div(b, a));
+}
+
+/// Square root with IEEE special-value semantics: sqrt(-0) = -0,
+/// sqrt(x < 0) = NaN, sqrt(+Inf) = +Inf, NaN propagates. Finite positive
+/// cases are bit-identical to sqrt(). (A non-finite radicand always yields
+/// a non-finite scalar, so the scalar-side test is sufficient here.)
+template <FloatingPoint T, int N>
+[[nodiscard]] MultiFloat<T, N> sqrt_ieee(const MultiFloat<T, N>& a) noexcept {
+    const T scalar = std::sqrt(a.limb[0]);
+    return detail::select(detail::needs_ieee_fixup(scalar), scalar, sqrt(a));
 }
 
 }  // namespace mf

@@ -168,4 +168,91 @@ TEST(DivSqrtDirected, PowiSpecialExponents) {
     MF_EXPECT_REL_BOUND(inv, want, 100);
 }
 
+// Special-value propagation for div/sqrt at every expansion length N=1..4,
+// through the strict-IEEE wrappers (paper §4.4: the raw kernels only
+// promise these semantics via mf/ieee.hpp; at N=1 both layers collapse to
+// the base type's own operation). Every special result must also embed
+// canonically: limb[0] carries the special, the tail is zero.
+template <typename T, int N>
+void check_divsqrt_specials() {
+    using MF = MultiFloat<T, N>;
+    const T inf = std::numeric_limits<T>::infinity();
+    const T nan = std::numeric_limits<T>::quiet_NaN();
+    const auto canonical_tail = [](const MF& z) {
+        for (int i = 1; i < N; ++i) {
+            if (z.limb[i] != T(0)) return false;
+        }
+        return true;
+    };
+
+    // Division poles: x / +-0.
+    EXPECT_EQ(div_ieee(MF(T(1)), MF(T(0))).limb[0], inf) << "N=" << N;
+    EXPECT_EQ(div_ieee(MF(T(-1)), MF(T(0))).limb[0], -inf) << "N=" << N;
+    EXPECT_EQ(div_ieee(MF(T(1)), MF(-T(0))).limb[0], -inf) << "N=" << N;
+    EXPECT_TRUE(std::isnan(div_ieee(MF(T(0)), MF(T(0))).limb[0])) << "N=" << N;
+    EXPECT_TRUE(canonical_tail(div_ieee(MF(T(1)), MF(T(0))))) << "N=" << N;
+
+    // Infinite operands: x / Inf = +-0 (signed!), Inf / x = +-Inf,
+    // Inf / Inf = NaN.
+    const MF x_over_inf = div_ieee(MF(T(3)), MF(inf));
+    EXPECT_EQ(x_over_inf.limb[0], T(0)) << "N=" << N;
+    EXPECT_FALSE(std::signbit(x_over_inf.limb[0])) << "N=" << N;
+    const MF neg_over_inf = div_ieee(MF(T(-3)), MF(inf));
+    EXPECT_EQ(neg_over_inf.limb[0], T(0)) << "N=" << N;
+    EXPECT_TRUE(std::signbit(neg_over_inf.limb[0])) << "N=" << N;
+    EXPECT_TRUE(canonical_tail(x_over_inf)) << "N=" << N;
+    EXPECT_EQ(div_ieee(MF(inf), MF(T(2))).limb[0], inf) << "N=" << N;
+    EXPECT_EQ(div_ieee(MF(-inf), MF(T(2))).limb[0], -inf) << "N=" << N;
+    EXPECT_EQ(div_ieee(MF(inf), MF(T(-2))).limb[0], -inf) << "N=" << N;
+    EXPECT_TRUE(std::isnan(div_ieee(MF(inf), MF(inf)).limb[0])) << "N=" << N;
+
+    // NaN operands poison division from either side.
+    EXPECT_TRUE(std::isnan(div_ieee(MF(nan), MF(T(2))).limb[0])) << "N=" << N;
+    EXPECT_TRUE(std::isnan(div_ieee(MF(T(2)), MF(nan)).limb[0])) << "N=" << N;
+
+    // Square root: sqrt(-x) = NaN, sqrt(+-0) = +-0, sqrt(+Inf) = +Inf,
+    // sqrt(-Inf) = NaN, sqrt(NaN) = NaN.
+    EXPECT_TRUE(std::isnan(sqrt_ieee(MF(T(-1))).limb[0])) << "N=" << N;
+    const MF sqrt_neg_zero = sqrt_ieee(MF(-T(0)));
+    EXPECT_EQ(sqrt_neg_zero.limb[0], T(0)) << "N=" << N;
+    EXPECT_TRUE(std::signbit(sqrt_neg_zero.limb[0])) << "N=" << N;
+    EXPECT_FALSE(std::signbit(sqrt_ieee(MF(T(0))).limb[0])) << "N=" << N;
+    EXPECT_EQ(sqrt_ieee(MF(inf)).limb[0], inf) << "N=" << N;
+    EXPECT_TRUE(std::isnan(sqrt_ieee(MF(-inf)).limb[0])) << "N=" << N;
+    EXPECT_TRUE(std::isnan(sqrt_ieee(MF(nan)).limb[0])) << "N=" << N;
+    EXPECT_TRUE(canonical_tail(sqrt_ieee(MF(inf)))) << "N=" << N;
+
+    // The fixup layer must not disturb ordinary finite results.
+    const MF q = div_ieee(MF(T(6)), MF(T(2)));
+    EXPECT_EQ(q.limb[0], T(3)) << "N=" << N;
+    EXPECT_EQ(sqrt_ieee(MF(T(4))).limb[0], T(2)) << "N=" << N;
+}
+
+TEST(DivSqrtSpecials, AllWidthsDouble) {
+    check_divsqrt_specials<double, 1>();
+    check_divsqrt_specials<double, 2>();
+    check_divsqrt_specials<double, 3>();
+    check_divsqrt_specials<double, 4>();
+}
+
+TEST(DivSqrtSpecials, AllWidthsFloat) {
+    check_divsqrt_specials<float, 1>();
+    check_divsqrt_specials<float, 2>();
+    check_divsqrt_specials<float, 3>();
+    check_divsqrt_specials<float, 4>();
+}
+
+// At N=1 the raw kernels ARE the base type's operations, so the strict
+// semantics hold without the wrapper too.
+TEST(DivSqrtSpecials, RawScalarWidthIsAlreadyIeee) {
+    using MF1 = MultiFloat<double, 1>;
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(div(MF1(1.0), MF1(0.0)).limb[0], inf);
+    EXPECT_TRUE(std::isnan(div(MF1(0.0), MF1(0.0)).limb[0]));
+    EXPECT_EQ(div(MF1(-1.0), MF1(inf)).limb[0], 0.0);
+    EXPECT_TRUE(std::signbit(div(MF1(-1.0), MF1(inf)).limb[0]));
+    EXPECT_TRUE(std::isnan(mf::sqrt(MF1(-2.0)).limb[0]));
+    EXPECT_TRUE(std::signbit(mf::sqrt(MF1(-0.0)).limb[0]));
+}
+
 }  // namespace

@@ -1,0 +1,51 @@
+// Thread-count invariance of the tiled GEMM (satellite of the mf::check
+// conformance layer): gemm_tiled must be bit-identical to the sequential
+// planar GEMM no matter how many OpenMP threads execute it -- the tiling
+// partitions output tiles, never a dot product, so no reduction is ever
+// reassociated -- and must serialize itself when called from inside an
+// enclosing parallel region instead of oversubscribing.
+
+#include <gtest/gtest.h>
+
+#include "check/differ.hpp"
+
+namespace {
+
+using namespace mf;
+using namespace mf::check;
+
+void expect_all_clean(const std::vector<DiffRecord>& diffs) {
+    ASSERT_FALSE(diffs.empty());
+    bool nested_seen = false;
+    for (const DiffRecord& d : diffs) {
+        EXPECT_EQ(d.mismatches, 0u)
+            << d.kernel << " " << d.type << " N=" << d.limbs << " [" << d.backend << "]";
+        if (d.backend.rfind("nested", 0) == 0) nested_seen = true;
+    }
+#if defined(_OPENMP)
+    EXPECT_TRUE(nested_seen);
+#else
+    (void)nested_seen;
+#endif
+}
+
+TEST(GemmThreads, BitIdenticalAcrossThreadCountsDouble2) {
+    expect_all_clean(diff_gemm_threads<double, 2>(21, 23, 17, 19, {1, 2, 7, 16}));
+}
+
+TEST(GemmThreads, BitIdenticalAcrossThreadCountsDouble4) {
+    expect_all_clean(diff_gemm_threads<double, 4>(22, 13, 11, 9, {1, 2, 7, 16}));
+}
+
+TEST(GemmThreads, BitIdenticalAcrossThreadCountsFloat3) {
+    expect_all_clean(diff_gemm_threads<float, 3>(23, 15, 9, 14, {1, 2, 7, 16}));
+}
+
+// Ragged problem sizes that don't divide the tile shape, under an
+// adversarial thread count larger than the tile grid.
+TEST(GemmThreads, RaggedTilesOversubscribed) {
+    expect_all_clean(diff_gemm_threads<double, 3>(24, 5, 3, 7, {16}));
+    expect_all_clean(diff_gemm_threads<double, 2>(25, 1, 1, 1, {7}));
+}
+
+}  // namespace

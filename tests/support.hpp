@@ -1,96 +1,61 @@
 #pragma once
-// Shared helpers for the test suite: oracle glue between MultiFloat
-// expansions and the exact BigFloat arithmetic, plus adversarial input
-// generators.
+// Shared helpers for the test suite. The oracle glue and the adversarial
+// input generators are the conformance layer's (src/check/), re-exported
+// under the historical mf::test names so the seed-era tests keep reading
+// the same; the generators gained optional subnormal-leading and
+// near-overflow emission (paper §4.4's exponent-range caveat) on top of the
+// old always-bound-safe default.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <random>
-#include <span>
 
-#include "bigfloat/bigfloat.hpp"
+#include "check/generators.hpp"
+#include "check/oracle.hpp"
 #include "mf/multifloats.hpp"
 
 namespace mf::test {
 
 using big::BigFloat;
 
-/// Exact value of an expansion.
-template <FloatingPoint T, int N>
-BigFloat exact(const MultiFloat<T, N>& x) {
-    BigFloat acc;
-    for (int i = 0; i < N; ++i)
-        acc = acc + BigFloat::from_double(static_cast<double>(x.limb[i]));
-    return acc;
-}
+/// Exact value of an expansion (non-finite limbs excluded).
+using check::exact;
 
 /// log2 of |value(z) - want| / |want|; -infinity if exact, +infinity if
 /// want == 0 but z != 0.
-template <FloatingPoint T, int N>
-double rel_err_log2(const MultiFloat<T, N>& z, const BigFloat& want) {
-    const BigFloat err = exact(z) - want;
-    if (err.is_zero()) return -std::numeric_limits<double>::infinity();
-    if (want.is_zero()) return std::numeric_limits<double>::infinity();
-    const BigFloat rel = BigFloat::div(err.abs(), want.abs(), 64);
-    return std::log2(std::abs(rel.to_double()));
-}
+using check::rel_err_log2;
 
 /// Paper error bounds (in bits below the result) for the arithmetic kernels.
 template <int N>
 constexpr int add_bound(int p) {
-    return N == 2 ? 2 * p - 1 : N * p - N;
+    return check::bound_bits(check::Op::add, p, N);
 }
 template <int N>
 constexpr int mul_bound(int p) {
-    return N == 2 ? 2 * p - 3 : N * p - N;
+    return check::bound_bits(check::Op::mul, p, N);
 }
 
 /// Adversarial random expansion: random signs, exponent gaps from tight to
-/// sparse, occasional zero tails. Always strictly nonoverlapping.
+/// sparse, occasional zero tails. Always strictly nonoverlapping. With the
+/// default flags every limb stays safely normal (the historical
+/// distribution); `subnormals` mixes in subnormal-leading / gradual-underflow
+/// tails and `near_overflow` mixes in leads a few doublings below overflow.
 template <FloatingPoint T, int N>
-MultiFloat<T, N> adversarial(std::mt19937_64& rng, int lead_min = -30, int lead_max = 30) {
-    constexpr int p = std::numeric_limits<T>::digits;
-    std::uniform_real_distribution<T> u(T(1), T(2));
-    std::uniform_int_distribution<int> lead(lead_min, lead_max);
-    std::uniform_int_distribution<int> gapd(0, 12);
-    MultiFloat<T, N> x{};
-    int e = lead(rng);
-    for (int i = 0; i < N; ++i) {
-        if (i > 0 && rng() % 6 == 0) break;
-        // Stay clear of the subnormal range: termwise operations on
-        // subnormal limbs are not exact (paper §4.4's exponent-range caveat).
-        if (e < std::numeric_limits<T>::min_exponent + p) break;
-        x.limb[i] = std::ldexp(u(rng) * (rng() % 2 ? T(1) : T(-1)), e);
-        e -= p + gapd(rng) + (rng() % 3 == 0 ? p : 0);
-    }
-    for (int i = 1; i < N; ++i) {
-        const T hi = x.limb[i - 1];
-        T& lo = x.limb[i];
-        if (hi == T(0)) {
-            lo = T(0);
-            continue;
-        }
-        if (lo == T(0)) continue;
-        // Strict nonoverlap: |lo| < (1/2) ulp(hi), with the exact boundary
-        // |lo| == (1/2) ulp(hi) (a power of two) exercised occasionally.
-        const int cap = std::ilogb(hi) - p - 1;
-        if (std::ilogb(lo) > cap) lo = std::ldexp(lo, cap - std::ilogb(lo));
-        if (rng() % 17 == 0) lo = std::copysign(std::ldexp(T(1), cap + 1), lo);
-    }
-    return x;
+MultiFloat<T, N> adversarial(std::mt19937_64& rng, int lead_min = -30, int lead_max = 30,
+                             bool subnormals = false, bool near_overflow = false) {
+    check::GenConfig cfg;
+    cfg.lead_min = lead_min;
+    cfg.lead_max = lead_max;
+    cfg.subnormals = subnormals;
+    cfg.near_overflow = near_overflow;
+    if (subnormals && rng() % 4 == 0) return check::gen_subnormal<T, N>(rng, cfg);
+    if (near_overflow && rng() % 4 == 0) return check::gen_near_overflow<T, N>(rng, cfg);
+    return check::gen_ladder<T, N>(rng, cfg);
 }
 
 /// y ~ -x with one limb nudged: maximal cancellation through the networks.
-template <FloatingPoint T, int N>
-MultiFloat<T, N> cancellation_partner(const MultiFloat<T, N>& x, std::mt19937_64& rng) {
-    MultiFloat<T, N> y = -x;
-    const auto k = static_cast<int>(rng() % static_cast<unsigned>(N));
-    if (y.limb[k] != T(0)) {
-        y.limb[k] = std::nextafter(y.limb[k], rng() % 2 ? T(4) : T(-4));
-    }
-    return y;
-}
+using check::cancellation_partner;
 
 #define MF_EXPECT_REL_BOUND(z, want, bound_bits)                               \
     do {                                                                       \
