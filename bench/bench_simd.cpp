@@ -7,6 +7,11 @@
 // backend available on this machine. Acceptance: the widest explicit backend
 // must be no slower than autovec on axpy/dot/gemm.
 //
+// Timings use median-of-K (bench::median_time) rather than best-of: these
+// records feed the BENCH_*.json trajectories, where run-to-run robustness
+// beats peak flattery. The JSON is stamped with git SHA / compiler / thread
+// count / active backend (harness.cpp, via mf::telemetry::build_info()).
+//
 //   usage: bench_simd [output.json]        (default BENCH_simd.json)
 
 #include <cstdio>
@@ -184,13 +189,13 @@ void run_type(bench::JsonReport& out, const char* type_name) {
 
     // AXPY
     {
-        const double t = bench::best_time(
+        const double t = bench::median_time(
             [&] { autovec_fma_range<T, N>(alpha, xp, yp, 0, n); });
         report(out, "axpy", type_name, N, "autovec", 0, t, double(n));
         for (simd::Backend b : available_backends()) {
             simd::set_backend(b);
             const double tb =
-                bench::best_time([&] { planar::axpy(alpha, x, y); });
+                bench::median_time([&] { planar::axpy(alpha, x, y); });
             report(out, "axpy", type_name, N, simd::backend_name(b),
                    simd::active_width<T>(), tb, double(n));
         }
@@ -198,14 +203,14 @@ void run_type(bench::JsonReport& out, const char* type_name) {
     // DOT
     {
         MultiFloat<T, N> sink{};
-        const double t = bench::best_time([&] {
+        const double t = bench::median_time([&] {
             const auto d = autovec_dot(x, y);
             sink = add(sink, d);
         });
         report(out, "dot", type_name, N, "autovec", 0, t, double(n));
         for (simd::Backend b : available_backends()) {
             simd::set_backend(b);
-            const double tb = bench::best_time([&] {
+            const double tb = bench::median_time([&] {
                 const auto d = planar::dot(x, y);
                 sink = add(sink, d);
             });
@@ -223,17 +228,17 @@ void run_type(bench::JsonReport& out, const char* type_name) {
         const auto a = random_planar<T, N>(gn * gk, 3);
         const auto bm = random_planar<T, N>(gk * gm, 4);
         planar::Vector<T, N> c(gn * gm);
-        const double t = bench::best_time(
+        const double t = bench::median_time(
             [&] { autovec_gemm<T, N>(a, bm, c, gn, gk, gm); });
         report(out, "gemm", type_name, N, "autovec", 0, t, ops);
         for (simd::Backend b : available_backends()) {
             simd::set_backend(b);
-            const double tb = bench::best_time(
+            const double tb = bench::median_time(
                 [&] { planar::gemm(a, bm, c, gn, gk, gm); });
             report(out, "gemm", type_name, N, simd::backend_name(b),
                    simd::active_width<T>(), tb, ops);
         }
-        const double tt = bench::best_time(
+        const double tt = bench::median_time(
             [&] { simd::gemm_tiled(a, bm, c, gn, gk, gm); });
         report(out, "gemm_tiled", type_name, N,
                simd::backend_name(simd::active_backend()),

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "telemetry/build_info.hpp"
+
 namespace mf::bench {
 
 std::size_t l3_cache_bytes() {
@@ -85,8 +87,14 @@ bool JsonReport::write(const std::string& path) const {
         }
         return r;
     };
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"cpu\": \"%s\",\n  \"records\": [",
-                 clean(bench).c_str(), clean(cpu_name()).c_str());
+    const telemetry::BuildInfo info = telemetry::build_info();
+    std::fprintf(f,
+                 "{\n  \"bench\": \"%s\",\n  \"cpu\": \"%s\",\n"
+                 "  \"git_sha\": \"%s\",\n  \"compiler\": \"%s\",\n"
+                 "  \"threads\": %d,\n  \"backend\": \"%s\",\n  \"records\": [",
+                 clean(bench).c_str(), clean(cpu_name()).c_str(),
+                 clean(info.git_sha).c_str(), clean(info.compiler).c_str(),
+                 info.threads, clean(info.backend).c_str());
     for (std::size_t i = 0; i < records.size(); ++i) {
         const JsonRecord& r = records[i];
         std::fprintf(f,

@@ -50,6 +50,29 @@ double best_time(F&& f, double min_time = 0.15, int min_reps = 3) {
     return best;
 }
 
+/// One warm-up call, then repeat f() until at least `min_time` seconds AND
+/// at least `min_reps` samples, and return the median per-iteration time.
+/// Where best_time() reports peak throughput (the paper's headline metric),
+/// the median is the robust estimator the BENCH_*.json trajectories want:
+/// insensitive to the one-off stalls (page faults, frequency ramps, sibling
+/// noise) that make best-of runs irreproducible across machines.
+template <typename F>
+double median_time(F&& f, double min_time = 0.15, int min_reps = 5) {
+    time_once(f);  // warm-up: touch the working set, settle the clocks
+    std::vector<double> samples;
+    double total = 0.0;
+    while (total < min_time || static_cast<int>(samples.size()) < min_reps) {
+        const double t = std::max(time_once(f), 1e-9);
+        samples.push_back(t);
+        total += t;
+        if (samples.size() > 10000) break;
+    }
+    const std::size_t mid = samples.size() / 2;
+    std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(mid),
+                     samples.end());
+    return samples[mid];
+}
+
 /// L3 cache size in bytes (sysfs, fallback 16 MiB).
 std::size_t l3_cache_bytes();
 
@@ -102,8 +125,10 @@ struct JsonReport {
     std::vector<JsonRecord> records;
 
     void add(JsonRecord r) { records.push_back(std::move(r)); }
-    /// Write {"bench":..., "cpu":..., "records":[...]} to `path`.
-    /// Returns false (and prints to stderr) if the file cannot be written.
+    /// Write {"bench":..., "cpu":..., provenance..., "records":[...]} to
+    /// `path`. Provenance (git_sha / compiler / threads / backend) comes from
+    /// mf::telemetry::build_info(), so BENCH and CHECK JSON carry identical
+    /// stamps. Returns false (and prints to stderr) on IO failure.
     bool write(const std::string& path) const;
 };
 

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "../mf/ieee.hpp"
+#include "../telemetry/events.hpp"
 #include "generators.hpp"
 #include "oracle.hpp"
 
@@ -241,6 +242,7 @@ void check_sample(Fn&& fn, Op op, const MultiFloat<T, N>& x, const MultiFloat<T,
                   Category cat, RunStats* s, Counterexample<T, N>* worst = nullptr) {
     ++s->iters;
     ++s->per_category[static_cast<int>(cat)];
+    MF_TELEM_COUNT("mf_check_samples_total");
 
     if (!bound_domain(op, x, y)) {
         ++s->skipped_domain;
@@ -277,6 +279,11 @@ void check_sample(Fn&& fn, Op op, const MultiFloat<T, N>& x, const MultiFloat<T,
         err = rel_err_log2(z, want);
         const double slack = -err - s->bound;
         s->hist.record(slack);
+        // Live mirror of the per-run SlackHistogram: how many bits of
+        // headroom the kernel had below its contract, process-wide across
+        // runs, scrapeable mid-fuzz (negative slack, i.e. a violation,
+        // clamps into bucket 0 alongside sub-1-bit headroom).
+        MF_TELEM_HIST("mf_check_slack_bits", slack);
         if (err > s->worst_err_log2) s->worst_err_log2 = err;
         if (slack < s->worst_slack) s->worst_slack = slack;
         if (slack < 0) {
@@ -291,6 +298,7 @@ void check_sample(Fn&& fn, Op op, const MultiFloat<T, N>& x, const MultiFloat<T,
         worst->category = cat;
         worst->valid = true;
     }
+    MF_TELEM_COUNT_N("mf_check_violations_total", failed);
     if (!is_nonoverlapping(z)) ++s->invariant_violations;
 }
 

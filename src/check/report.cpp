@@ -5,6 +5,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "../telemetry/build_info.hpp"
+
 namespace mf::check {
 
 namespace {
@@ -32,12 +34,19 @@ bool ConformanceReport::write(const std::string& path) const {
         std::fprintf(stderr, "ConformanceReport: cannot write %s\n", path.c_str());
         return false;
     }
+    // Provenance stamp shared with bench's JsonReport: the same four fields
+    // from the same build_info(), so trajectory tooling can join BENCH and
+    // CHECK documents on identical keys.
+    const telemetry::BuildInfo info = telemetry::build_info();
     std::fprintf(f,
                  "{\n  \"check\": \"conformance\",\n  \"seed\": %" PRIu64
                  ",\n  \"iters_per_run\": %" PRIu64 ",\n  \"backend\": \"%s\",\n"
+                 "  \"git_sha\": \"%s\",\n  \"compiler\": \"%s\",\n"
+                 "  \"threads\": %d,\n"
                  "  \"clean\": %s,\n  \"runs\": [",
                  seed, iters_per_run, json_clean(backend).c_str(),
-                 clean() ? "true" : "false");
+                 json_clean(info.git_sha).c_str(), json_clean(info.compiler).c_str(),
+                 info.threads, clean() ? "true" : "false");
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const RunStats& r = runs[i];
         std::fprintf(f,

@@ -17,6 +17,7 @@
 
 #include <cmath>
 
+#include "../telemetry/events.hpp"
 #include "add.hpp"
 #include "div_sqrt.hpp"
 #include "mul.hpp"
@@ -52,7 +53,11 @@ template <FloatingPoint T, int N>
 [[nodiscard]] MultiFloat<T, N> add_ieee(const MultiFloat<T, N>& x,
                                         const MultiFloat<T, N>& y) noexcept {
     const T scalar = x.limb[0] + y.limb[0];
-    return detail::select(detail::needs_ieee_fixup(scalar), scalar, add(x, y));
+    const bool fixup = detail::needs_ieee_fixup(scalar);
+    // Numerical-health event: adds 0 or 1 unconditionally, so the hot path
+    // stays branch-free (same discipline as the cmov select below).
+    MF_TELEM_COUNT_N("mf_ieee_fixup_total{op=\"add\"}", fixup);
+    return detail::select(fixup, scalar, add(x, y));
 }
 
 template <FloatingPoint T, int N>
@@ -67,7 +72,9 @@ template <FloatingPoint T, int N>
 [[nodiscard]] MultiFloat<T, N> mul_ieee(const MultiFloat<T, N>& x,
                                         const MultiFloat<T, N>& y) noexcept {
     const T scalar = x.limb[0] * y.limb[0];
-    return detail::select(detail::needs_ieee_fixup(scalar), scalar, mul(x, y));
+    const bool fixup = detail::needs_ieee_fixup(scalar);
+    MF_TELEM_COUNT_N("mf_ieee_fixup_total{op=\"mul\"}", fixup);
+    return detail::select(fixup, scalar, mul(x, y));
 }
 
 /// Division with IEEE special-value semantics: x/0 = +-Inf, 0/0 = NaN,
@@ -81,6 +88,7 @@ template <FloatingPoint T, int N>
                                         const MultiFloat<T, N>& a) noexcept {
     const T scalar = b.limb[0] / a.limb[0];
     const bool fixup = detail::needs_ieee_fixup(scalar) || !std::isfinite(a.limb[0]);
+    MF_TELEM_COUNT_N("mf_ieee_fixup_total{op=\"div\"}", fixup);
     return detail::select(fixup, scalar, div(b, a));
 }
 
@@ -91,7 +99,9 @@ template <FloatingPoint T, int N>
 template <FloatingPoint T, int N>
 [[nodiscard]] MultiFloat<T, N> sqrt_ieee(const MultiFloat<T, N>& a) noexcept {
     const T scalar = std::sqrt(a.limb[0]);
-    return detail::select(detail::needs_ieee_fixup(scalar), scalar, sqrt(a));
+    const bool fixup = detail::needs_ieee_fixup(scalar);
+    MF_TELEM_COUNT_N("mf_ieee_fixup_total{op=\"sqrt\"}", fixup);
+    return detail::select(fixup, scalar, sqrt(a));
 }
 
 }  // namespace mf

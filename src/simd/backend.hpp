@@ -22,8 +22,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <string_view>
 
+#include "../telemetry/events.hpp"
 #include "pack.hpp"
 
 namespace mf::simd {
@@ -102,6 +104,15 @@ template <std::floating_point T>
 
 namespace detail {
 
+/// One selection/override event per decision, so an exposition shows which
+/// backend this process actually chose and whether an operator forced it.
+inline void note_selected([[maybe_unused]] Backend b,
+                          [[maybe_unused]] const char* source) noexcept {
+    MF_TELEM_COUNT_DYN(std::string("mf_simd_backend_selected_total{backend=\"") +
+                           backend_name(b) + "\",source=\"" + source + "\"}",
+                       1);
+}
+
 /// Widest available backend, honoring a MF_SIMD_BACKEND env override.
 inline Backend detect_backend() noexcept {
     Backend best = Backend::scalar;
@@ -110,11 +121,16 @@ inline Backend detect_backend() noexcept {
     }
     if (const char* env = std::getenv("MF_SIMD_BACKEND")) {
         Backend forced;
-        if (parse_backend(env, &forced) && backend_available(forced)) return forced;
+        if (parse_backend(env, &forced) && backend_available(forced)) {
+            note_selected(forced, "env");
+            return forced;
+        }
         std::fprintf(stderr,
                      "mf::simd: MF_SIMD_BACKEND=%s not available, using %s\n",
                      env, backend_name(best));
+        MF_TELEM_COUNT_DYN("mf_simd_backend_override_rejected_total", 1);
     }
+    note_selected(best, "auto");
     return best;
 }
 
@@ -135,6 +151,7 @@ inline std::atomic<Backend>& active_backend_slot() noexcept {
 inline bool set_backend(Backend b) noexcept {
     if (!backend_available(b)) return false;
     detail::active_backend_slot().store(b, std::memory_order_relaxed);
+    detail::note_selected(b, "set_backend");
     return true;
 }
 

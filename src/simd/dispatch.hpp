@@ -11,6 +11,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "../telemetry/events.hpp"
 #include "backend.hpp"
 #include "kernels.hpp"
 
@@ -18,13 +19,36 @@ namespace mf::simd {
 
 namespace detail {
 
+#if MF_TELEMETRY_ENABLED
+/// One dispatch-decision event per dispatched *range* (not per element).
+/// All five series are pre-registered so the exposition always shows the
+/// roads not taken; ids resolve once, the steady-state cost is one
+/// thread-local increment per kernel call.
+inline void note_dispatch(Backend b) {
+    static const std::array<telemetry::CounterId, 5> ids = [] {
+        std::array<telemetry::CounterId, 5> a{};
+        for (int i = 0; i < 5; ++i) {
+            a[static_cast<std::size_t>(i)] = telemetry::Registry::instance().counter(
+                std::string("mf_simd_dispatch_total{backend=\"") +
+                backend_name(static_cast<Backend>(i)) + "\"}");
+        }
+        return a;
+    }();
+    telemetry::Registry::instance().add(ids[static_cast<std::size_t>(b)]);
+}
+#endif
+
 /// Invoke f(integral_constant<int, W>) with the active backend's pack width
 /// for base type T. Only widths whose intrinsic specializations are compiled
 /// in are reachable; anything else falls back to width 1 (scalar packs).
 template <std::floating_point T, typename F>
 MF_ALWAYS_INLINE decltype(auto) with_pack_width(F&& f) {
-    constexpr int S = static_cast<int>(sizeof(T));
-    switch (active_backend()) {
+    [[maybe_unused]] constexpr int S = static_cast<int>(sizeof(T));
+    const Backend active = active_backend();
+#if MF_TELEMETRY_ENABLED
+    note_dispatch(active);
+#endif
+    switch (active) {
 #if MF_SIMD_HAVE_AVX512
         case Backend::avx512:
             return std::forward<F>(f)(std::integral_constant<int, 64 / S>{});

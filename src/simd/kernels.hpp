@@ -19,6 +19,7 @@
 
 #include "../mf/add.hpp"
 #include "../mf/mul.hpp"
+#include "../telemetry/events.hpp"
 #include "pack.hpp"
 
 namespace mf::simd::kernels {
@@ -84,6 +85,7 @@ MF_ALWAYS_INLINE MultiFloat<T, N> lane(const MultiFloat<P, N>& v, int j) noexcep
 template <std::floating_point T, int N, int W>
 void add_range(const T* const* xp, const T* const* yp, T* const* zp,
                std::size_t i0, std::size_t i1) {
+    MF_TELEM_COUNT_N("mf_simd_kernel_ops_total{kernel=\"add_range\"}", i1 - i0);
     using P = Pack<T, W>;
     std::size_t i = i0;
     for (; i + W <= i1; i += W) {
@@ -107,6 +109,7 @@ void add_range(const T* const* xp, const T* const* yp, T* const* zp,
 template <std::floating_point T, int N, int W>
 void fma_range(const MultiFloat<T, N>& alpha, const T* const* xp, T* const* yp,
                std::size_t i0, std::size_t i1) {
+    MF_TELEM_COUNT_N("mf_simd_kernel_ops_total{kernel=\"fma_range\"}", i1 - i0);
     using P = Pack<T, W>;
     const MultiFloat<P, N> av = broadcast<P, T, N>(alpha);
     std::size_t i = i0;
@@ -134,6 +137,7 @@ void fma_range(const MultiFloat<T, N>& alpha, const T* const* xp, T* const* yp,
 /// so the result is bit-identical to the pre-SIMD path.
 template <std::floating_point T, int N, int W>
 [[nodiscard]] MultiFloat<T, N> dot(const T* const* xp, const T* const* yp, std::size_t n) {
+    MF_TELEM_COUNT_N("mf_simd_kernel_ops_total{kernel=\"dot\"}", n);
     using P = Pack<T, W>;
     constexpr std::size_t BLK = W > 8 ? W : 8;
     constexpr std::size_t A = BLK / W;
@@ -170,6 +174,7 @@ template <std::floating_point T, int N, int W>
 template <std::floating_point T, int N, int W>
 void axpy_aos(const MultiFloat<T, N>& alpha, const MultiFloat<T, N>* x,
               MultiFloat<T, N>* y, std::size_t n) {
+    MF_TELEM_COUNT_N("mf_simd_kernel_ops_total{kernel=\"axpy_aos\"}", n);
     using P = Pack<T, W>;
     const MultiFloat<P, N> av = broadcast<P, T, N>(alpha);
     std::size_t i = 0;
@@ -185,6 +190,7 @@ void axpy_aos(const MultiFloat<T, N>& alpha, const MultiFloat<T, N>* x,
 template <std::floating_point T, int N, int W>
 [[nodiscard]] MultiFloat<T, N> dot_aos(const MultiFloat<T, N>* x,
                                        const MultiFloat<T, N>* y, std::size_t n) {
+    MF_TELEM_COUNT_N("mf_simd_kernel_ops_total{kernel=\"dot_aos\"}", n);
     using P = Pack<T, W>;
     constexpr std::size_t BLK = W > 8 ? W : 8;
     constexpr std::size_t A = BLK / W;

@@ -23,6 +23,7 @@
 #include <cstddef>
 
 #include "../blas/planar.hpp"
+#include "../telemetry/events.hpp"
 #include "dispatch.hpp"
 
 #if defined(_OPENMP)
@@ -73,6 +74,12 @@ void gemm_tiled(const planar::Vector<T, N>& a, const planar::Vector<T, N>& b,
 #pragma omp parallel for schedule(static) \
     if (n_itiles > 1 && !mf::simd::detail::in_parallel())
         for (std::size_t it = 0; it < n_itiles; ++it) {
+            // One span per row-tile per worker thread: the chrome trace of
+            // these is the GEMM's load-imbalance picture, and the latency
+            // histogram its tile-cost distribution. Telemetry-off builds
+            // compile both lines away.
+            MF_TELEM_SPAN_TIMED("gemm_row_tile", "mf_gemm_tile_ns");
+            MF_TELEM_COUNT("mf_gemm_tiles_total");
             const std::size_t i1 = (it * ti + ti < n) ? it * ti + ti : n;
             for (std::size_t j0 = 0; j0 < m; j0 += tj) {
                 const std::size_t j1 = (j0 + tj < m) ? j0 + tj : m;

@@ -1,0 +1,51 @@
+#pragma once
+// Build/run provenance for stamping exported artifacts: every BENCH_*.json,
+// CHECK_*.json and metrics exposition carries enough context to reproduce
+// the measurement -- which commit, which compiler, how many threads, and
+// which SIMD backend dispatch actually selected at runtime.
+
+#include <string>
+#include <thread>
+
+#include "../simd/backend.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+// Stamped by CMake (git rev-parse --short HEAD at configure time); builds
+// from a tarball or an uncommitted tree fall back to "unknown".
+#ifndef MF_GIT_SHA
+#define MF_GIT_SHA "unknown"
+#endif
+
+namespace mf::telemetry {
+
+struct BuildInfo {
+    std::string git_sha;
+    std::string compiler;
+    int threads = 1;      ///< worker threads a parallel region would use
+    std::string backend;  ///< SIMD backend active at query time
+};
+
+[[nodiscard]] inline BuildInfo build_info() {
+    BuildInfo b;
+    b.git_sha = MF_GIT_SHA;
+#if defined(__clang__)
+    b.compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    b.compiler = std::string("gcc ") + __VERSION__;
+#else
+    b.compiler = "unknown";
+#endif
+#if defined(_OPENMP)
+    b.threads = omp_get_max_threads();
+#else
+    b.threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (b.threads < 1) b.threads = 1;
+#endif
+    b.backend = simd::backend_name(simd::active_backend());
+    return b;
+}
+
+}  // namespace mf::telemetry

@@ -1,0 +1,19 @@
+#pragma once
+// mf::telemetry -- umbrella header for the observability subsystem.
+//
+//   registry.hpp    process-wide counters/histograms, thread-local shards
+//   events.hpp      MF_TELEM_* instrumentation macros (compile to nothing
+//                   unless MF_TELEMETRY is on)
+//   exposition.hpp  Prometheus-style text exporter
+//   trace.hpp       chrome://tracing span exporter
+//   build_info.hpp  git/compiler/threads/backend provenance stamp
+//
+// Instrumented kernels include only events.hpp (which pulls registry.hpp);
+// exporters and tools include this umbrella. See DESIGN.md §10 for the
+// architecture and the overhead budget.
+
+#include "build_info.hpp"
+#include "events.hpp"
+#include "exposition.hpp"
+#include "registry.hpp"
+#include "trace.hpp"

@@ -1,0 +1,60 @@
+#pragma once
+// chrome://tracing (Trace Event Format) export of recorded spans.
+//
+// Spans become complete ("ph":"X") events on one pid, with the shard's
+// sequential thread id as tid -- load one of these files into
+// chrome://tracing or https://ui.perfetto.dev and the per-thread tile
+// timeline of the parallel GEMM renders as horizontal bars: load imbalance
+// is visible as ragged right edges.
+//
+// The output is deterministic for a given snapshot (events sorted by
+// (tid, begin, name), fixed field order, fixed %.3f microsecond formatting),
+// which is what lets tests/telemetry_test.cpp hold a golden copy.
+
+#include <cstdio>
+#include <string>
+
+#include "registry.hpp"
+
+namespace mf::telemetry {
+
+/// Render a snapshot's spans as a chrome://tracing JSON document.
+[[nodiscard]] inline std::string chrome_trace_json(const Snapshot& snap) {
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    char buf[160];
+    bool first = true;
+    for (const TraceEvent& e : snap.spans) {
+        std::string name;
+        for (char c : e.name) {
+            if (c != '"' && c != '\\' && static_cast<unsigned char>(c) >= 0x20) {
+                name.push_back(c);
+            }
+        }
+        const double ts_us = static_cast<double>(e.begin_ns) / 1000.0;
+        const double dur_us = static_cast<double>(e.end_ns - e.begin_ns) / 1000.0;
+        std::snprintf(buf, sizeof buf,
+                      "%s\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                      "\"ts\":%.3f,\"dur\":%.3f}",
+                      first ? "" : ",", name.c_str(), e.tid, ts_us, dur_us);
+        out += buf;
+        first = false;
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+/// Snapshot the process registry and write the trace to `path`.
+/// Returns false (with a stderr note) on IO failure.
+inline bool write_chrome_trace(const std::string& path) {
+    const std::string text = chrome_trace_json(Registry::instance().snapshot());
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "mf::telemetry: cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::fputs(text.c_str(), f);
+    std::fclose(f);
+    return true;
+}
+
+}  // namespace mf::telemetry

@@ -1,0 +1,261 @@
+// mf::telemetry: registry semantics (concurrent sharded counting, log2
+// histogram bucketing, span recording), exporter formats (Prometheus text
+// exposition, chrome://tracing JSON vs a committed golden file), and the
+// end-to-end wiring through the instrumented GEMM stack.
+//
+// Each TEST runs in its own process (gtest_discover_tests), but every test
+// still calls reset() up front so counts from static initialization or
+// backend detection never leak into assertions.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "blas/planar.hpp"
+#include "simd/tiling.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace mf::telemetry;
+
+Registry& reg() { return Registry::instance(); }
+
+const CounterSnap* find_counter(const Snapshot& s, const std::string& name) {
+    for (const CounterSnap& c : s.counters) {
+        if (c.name == name) return &c;
+    }
+    return nullptr;
+}
+
+const HistogramSnap* find_hist(const Snapshot& s, const std::string& name) {
+    for (const HistogramSnap& h : s.histograms) {
+        if (h.name == name) return &h;
+    }
+    return nullptr;
+}
+
+std::uint64_t sum_counters_with_prefix(const Snapshot& s, const std::string& prefix) {
+    std::uint64_t total = 0;
+    for (const CounterSnap& c : s.counters) {
+        if (c.name.rfind(prefix, 0) == 0) total += c.value;
+    }
+    return total;
+}
+
+TEST(TelemetryRegistry, ConcurrentShardedIncrementsMergeExactly) {
+    reg().reset();
+    const CounterId id = reg().counter("test_concurrent_total");
+    constexpr int kThreads = 16;
+    constexpr std::uint64_t kPerThread = 100000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([id] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) reg().add(id);
+        });
+    }
+    for (std::thread& w : workers) w.join();
+    // All 16 worker threads have exited; their shards must still contribute
+    // ("merged on flush" semantics -- shards outlive their threads).
+    const Snapshot snap = reg().snapshot();
+    const CounterSnap* c = find_counter(snap, "test_concurrent_total");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value, kThreads * kPerThread);
+}
+
+TEST(TelemetryRegistry, CounterIdIsStableAndAddNIsExact) {
+    reg().reset();
+    const CounterId a = reg().counter("test_stable_total");
+    const CounterId b = reg().counter("test_stable_total");
+    EXPECT_EQ(a.idx, b.idx);
+    reg().add(a, 5);
+    reg().add(b, 7);
+    const Snapshot snap = reg().snapshot();
+    const CounterSnap* c = find_counter(snap, "test_stable_total");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value, 12u);
+}
+
+TEST(TelemetryRegistry, InertIdsAreNoOps) {
+    reg().reset();
+    CounterId none;      // default: idx = -1
+    HistogramId hnone;   // default: idx = -1
+    reg().add(none, 3);  // must not crash or count anything
+    reg().observe(hnone, 42);
+    const Snapshot snap = reg().snapshot();
+    for (const CounterSnap& c : snap.counters) EXPECT_EQ(c.value, 0u) << c.name;
+    for (const HistogramSnap& h : snap.histograms) EXPECT_EQ(h.count, 0u) << h.name;
+}
+
+TEST(TelemetryHistogram, PowerOfTwoBucketEdges) {
+    // Bucket 0 = [0, 2), bucket b = [2^b, 2^(b+1)): the exact contract the
+    // exposition's `le` edges encode.
+    EXPECT_EQ(log2_bucket(0), 0);
+    EXPECT_EQ(log2_bucket(1), 0);
+    EXPECT_EQ(log2_bucket(2), 1);
+    EXPECT_EQ(log2_bucket(3), 1);
+    EXPECT_EQ(log2_bucket(4), 2);
+    EXPECT_EQ(log2_bucket(7), 2);
+    EXPECT_EQ(log2_bucket(8), 3);
+    EXPECT_EQ(log2_bucket((std::uint64_t{1} << 40) - 1), 39);
+    EXPECT_EQ(log2_bucket(std::uint64_t{1} << 40), 40);
+    EXPECT_EQ(log2_bucket(~std::uint64_t{0}), kHistBuckets - 1);
+
+    reg().reset();
+    const HistogramId h = reg().histogram("test_buckets");
+    for (std::uint64_t v : {0u, 1u, 2u, 3u, 4u, 7u, 8u}) reg().observe(h, v);
+    const Snapshot snap = reg().snapshot();
+    const HistogramSnap* s = find_hist(snap, "test_buckets");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->bucket[0], 2u);  // 0, 1
+    EXPECT_EQ(s->bucket[1], 2u);  // 2, 3
+    EXPECT_EQ(s->bucket[2], 2u);  // 4, 7
+    EXPECT_EQ(s->bucket[3], 1u);  // 8
+    EXPECT_EQ(s->count, 7u);
+    EXPECT_EQ(s->sum, 0u + 1 + 2 + 3 + 4 + 7 + 8);
+}
+
+TEST(TelemetryTrace, GoldenChromeTraceJson) {
+    reg().reset();
+    // Deterministic injected spans (explicit tid + timestamps): the exporter
+    // output for these is byte-stable, so it lives as a committed golden
+    // file. Regenerate with tools/mf_top + this test's inputs if the format
+    // deliberately changes.
+    reg().record_span("alpha", /*tid=*/0, /*begin_ns=*/1000, /*end_ns=*/2500);
+    reg().record_span("beta", /*tid=*/1, /*begin_ns=*/2000, /*end_ns=*/4000);
+    const std::string got = chrome_trace_json(reg().snapshot());
+
+    std::ifstream golden(std::string(MF_GOLDEN_DIR) + "/trace_golden.json");
+    ASSERT_TRUE(golden.is_open()) << "missing " MF_GOLDEN_DIR "/trace_golden.json";
+    std::stringstream want;
+    want << golden.rdbuf();
+    EXPECT_EQ(got, want.str());
+}
+
+// The remaining tests exercise the MF_TELEM_* macros and the instrumented
+// kernels, so they are meaningful only when the instrumentation is compiled
+// in (MF_TELEMETRY=ON, the default). In an OFF build the registry/exporter
+// tests above still run; these skip.
+
+TEST(TelemetryTrace, ScopedSpanRecordsOnlyWhenEnabled) {
+#if !MF_TELEMETRY_ENABLED
+    GTEST_SKIP() << "telemetry instrumentation compiled out";
+#else
+    reg().reset();
+    reg().set_trace_enabled(false);
+    { MF_TELEM_SPAN("quiet"); }
+    EXPECT_TRUE(reg().snapshot().spans.empty());
+    reg().set_trace_enabled(true);
+    { MF_TELEM_SPAN("loud"); }
+    reg().set_trace_enabled(false);
+    const Snapshot snap = reg().snapshot();
+    ASSERT_EQ(snap.spans.size(), 1u);
+    EXPECT_EQ(snap.spans[0].name, "loud");
+    EXPECT_LE(snap.spans[0].begin_ns, snap.spans[0].end_ns);
+#endif
+}
+
+TEST(TelemetryExposition, RendersCountersHistogramsAndBuildInfo) {
+    reg().reset();
+    reg().add(reg().counter("test_expo_total{kind=\"a\"}"), 3);
+    reg().add(reg().counter("test_expo_total{kind=\"b\"}"), 4);
+    const HistogramId h = reg().histogram("test_expo_ns");
+    reg().observe(h, 1);  // bucket 0 -> le="2"
+    reg().observe(h, 5);  // bucket 2 -> le="8"
+    const std::string text = render_exposition(reg().snapshot(), build_info());
+
+    // One TYPE line for the shared base name, then both labeled series.
+    EXPECT_NE(text.find("# TYPE test_expo_total counter"), std::string::npos);
+    EXPECT_NE(text.find("test_expo_total{kind=\"a\"} 3\n"), std::string::npos);
+    EXPECT_NE(text.find("test_expo_total{kind=\"b\"} 4\n"), std::string::npos);
+    // Histogram: cumulative buckets with exact power-of-two edges.
+    EXPECT_NE(text.find("# TYPE test_expo_ns histogram"), std::string::npos);
+    EXPECT_NE(text.find("test_expo_ns_bucket{le=\"2\"} 1\n"), std::string::npos);
+    EXPECT_NE(text.find("test_expo_ns_bucket{le=\"8\"} 2\n"), std::string::npos);
+    EXPECT_NE(text.find("test_expo_ns_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+    EXPECT_NE(text.find("test_expo_ns_sum 6\n"), std::string::npos);
+    EXPECT_NE(text.find("test_expo_ns_count 2\n"), std::string::npos);
+    // Build provenance rides along as the standard info-gauge.
+    EXPECT_NE(text.find("# TYPE mf_build_info gauge"), std::string::npos);
+    EXPECT_NE(text.find("mf_build_info{git_sha="), std::string::npos);
+    EXPECT_NE(text.find("backend="), std::string::npos);
+}
+
+TEST(TelemetryWiring, GemmPopulatesDispatchRenormAndTileCounters) {
+#if !MF_TELEMETRY_ENABLED
+    GTEST_SKIP() << "telemetry instrumentation compiled out";
+#else
+    reg().reset();
+    reg().set_trace_enabled(true);
+    constexpr std::size_t n = 8;
+    mf::planar::Vector<double, 4> a(n * n), b(n * n), c(n * n);
+    for (std::size_t i = 0; i < n * n; ++i) {
+        a.set(i, mf::MultiFloat<double, 4>(1.0 + double(i) * 0x1p-20));
+        b.set(i, mf::MultiFloat<double, 4>(2.0 - double(i) * 0x1p-21));
+    }
+    mf::simd::gemm_tiled(a, b, c, n, n, n);
+    reg().set_trace_enabled(false);
+
+    const Snapshot snap = reg().snapshot();
+    // One dispatch resolve (hoisted out of the tile loops), one row tile
+    // (n = 8 < the 32-row tile height), n^3 fused multiply-add kernel ops,
+    // and a renorm per element update.
+    EXPECT_EQ(sum_counters_with_prefix(snap, "mf_simd_dispatch_total"), 1u);
+    const CounterSnap* tiles = find_counter(snap, "mf_gemm_tiles_total");
+    ASSERT_NE(tiles, nullptr);
+    EXPECT_EQ(tiles->value, 1u);
+    EXPECT_EQ(sum_counters_with_prefix(snap, "mf_simd_kernel_ops_total"), n * n * n);
+    EXPECT_GT(sum_counters_with_prefix(snap, "mf_renorm_accumulate_total"), 0u);
+    // The traced row tile must appear as a span and as a latency observation.
+    EXPECT_EQ(snap.spans.size(), 1u);
+    const HistogramSnap* lat = find_hist(snap, "mf_gemm_tile_ns");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->count, 1u);
+#endif
+}
+
+TEST(TelemetryWiring, IeeeFixupEventsCountSpecials) {
+#if !MF_TELEMETRY_ENABLED
+    GTEST_SKIP() << "telemetry instrumentation compiled out";
+#else
+    reg().reset();
+    using MF4 = mf::MultiFloat<double, 4>;
+    const MF4 inf(std::numeric_limits<double>::infinity());
+    const MF4 one(1.0);
+    (void)mf::add_ieee(inf, one);   // fixup: Inf propagates
+    (void)mf::add_ieee(one, one);   // no fixup
+    (void)mf::div_ieee(one, MF4(0.0));  // fixup: 1/0 = Inf
+    const Snapshot snap = reg().snapshot();
+    const CounterSnap* add = find_counter(snap, "mf_ieee_fixup_total{op=\"add\"}");
+    ASSERT_NE(add, nullptr);
+    EXPECT_EQ(add->value, 1u);
+    const CounterSnap* div = find_counter(snap, "mf_ieee_fixup_total{op=\"div\"}");
+    ASSERT_NE(div, nullptr);
+    EXPECT_EQ(div->value, 1u);
+    // div() on a zero divisor also raises the non-finite health event.
+    EXPECT_GE(sum_counters_with_prefix(snap, "mf_divsqrt_nonfinite_total"), 1u);
+#endif
+}
+
+TEST(TelemetryRegistry, ResetZeroesValuesButKeepsSeries) {
+    reg().reset();
+    const CounterId id = reg().counter("test_reset_total");
+    reg().add(id, 9);
+    reg().reset();
+    const Snapshot after_reset = reg().snapshot();
+    const CounterSnap* c = find_counter(after_reset, "test_reset_total");
+    ASSERT_NE(c, nullptr);  // name survives reset
+    EXPECT_EQ(c->value, 0u);
+    reg().add(id, 2);  // pre-reset id still valid
+    const Snapshot after_add = reg().snapshot();
+    ASSERT_NE(find_counter(after_add, "test_reset_total"), nullptr);
+    EXPECT_EQ(find_counter(after_add, "test_reset_total")->value, 2u);
+}
+
+}  // namespace

@@ -6,6 +6,8 @@
 //   $ mf_calc 1 1e-40 +     -> 1.0000000000000000000000000000000000000001e+0
 //
 // Tokens: decimal numbers, + - x / sqrt recip neg abs ('x' or '*' multiply).
+// `--metrics PATH` ('-' = stdout) dumps the telemetry exposition at exit --
+// the quickest way to see which kernels a given expression exercised.
 
 #include <cstdio>
 #include <cstring>
@@ -15,10 +17,12 @@
 #include "mf/multifloats.hpp"
 #include "simd/backend.hpp"
 #include "simd/dispatch.hpp"
+#include "telemetry/telemetry.hpp"
 
 using MF = mf::MultiFloat<double, 4>;
 
 int main(int argc, char** argv) {
+    std::string metrics_path;
     std::vector<MF> stack;
     const auto pop = [&]() {
         if (stack.empty()) {
@@ -31,7 +35,9 @@ int main(int argc, char** argv) {
     };
     for (int i = 1; i < argc; ++i) {
         const std::string tok = argv[i];
-        if (tok == "+") {
+        if (tok == "--metrics" && i + 1 < argc) {
+            metrics_path = argv[++i];
+        } else if (tok == "+") {
             const MF b = pop();
             const MF a = pop();
             stack.push_back(a + b);
@@ -67,6 +73,7 @@ int main(int argc, char** argv) {
                     mf::simd::backend_name(mf::simd::active_backend()),
                     mf::simd::active_width<double>(),
                     mf::simd::active_width<float>());
+        if (!metrics_path.empty()) mf::telemetry::write_exposition(metrics_path);
         return 0;
     }
     for (const MF& v : stack) {
@@ -74,5 +81,8 @@ int main(int argc, char** argv) {
         std::printf("  limbs: [%.17g, %.17g, %.17g, %.17g]\n", v.limb[0], v.limb[1],
                     v.limb[2], v.limb[3]);
     }
+    // Metric dump comes last so RPN output ordering (and the tests anchored
+    // to it) is unchanged; the exit code never depends on the dump.
+    if (!metrics_path.empty()) mf::telemetry::write_exposition(metrics_path);
     return 0;
 }

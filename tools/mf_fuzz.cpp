@@ -10,7 +10,7 @@
 //   mf_fuzz [--op add|sub|mul|div|sqrt|all] [--type double|float|all]
 //           [--limbs 2|3|4|all] [--iters K] [--seed S] [--backend NAME]
 //           [--json PATH] [--corpus FILE] [--write-corpus FILE]
-//           [--bound-domain-only] [--no-diff] [--self-test]
+//           [--metrics PATH] [--bound-domain-only] [--no-diff] [--self-test]
 //
 // Iteration count resolution: --iters, else the MF_FUZZ_ITERS environment
 // variable, else 20000. Exit status: 0 clean, 1 conformance/diff failure,
@@ -25,6 +25,7 @@
 
 #include "check/check.hpp"
 #include "simd/simd.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -41,6 +42,7 @@ struct Options {
     std::string json_path;     // write a ConformanceReport JSON
     std::string corpus_path;   // replay this corpus before random fuzzing
     std::string write_corpus;  // append worst counterexamples here
+    std::string metrics_path;  // dump telemetry exposition at exit ('-' = stdout)
     bool full_domain = true;   // subnormals / near-overflow / specials on
     bool diff = true;
     bool self_test = false;
@@ -51,7 +53,8 @@ int usage(const char* argv0) {
                  "usage: %s [--op add|sub|mul|div|sqrt|all] [--type double|float|all]\n"
                  "          [--limbs 2|3|4|all] [--iters K] [--seed S] [--backend NAME]\n"
                  "          [--json PATH] [--corpus FILE] [--write-corpus FILE]\n"
-                 "          [--bound-domain-only] [--no-diff] [--self-test]\n",
+                 "          [--metrics PATH] [--bound-domain-only] [--no-diff] "
+                 "[--self-test]\n",
                  argv0);
     return 2;
 }
@@ -239,6 +242,10 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (!v) return usage(argv[0]);
             opt.write_corpus = v;
+        } else if (a == "--metrics") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            opt.metrics_path = v;
         } else if (a == "--bound-domain-only") {
             opt.full_domain = false;
         } else if (a == "--no-diff") {
@@ -250,7 +257,18 @@ int main(int argc, char** argv) {
         }
     }
 
-    if (opt.self_test) return run_self_test() ? 0 : 1;
+    // Dump the process telemetry (op counts, renorm invocations, IEEE fixup
+    // and non-finite events the fuzz run triggered) on every non-usage-error
+    // exit path; the exit code never depends on the dump.
+    const auto dump_metrics = [&opt] {
+        if (!opt.metrics_path.empty()) telemetry::write_exposition(opt.metrics_path);
+    };
+
+    if (opt.self_test) {
+        const bool ok = run_self_test();
+        dump_metrics();
+        return ok ? 0 : 1;
+    }
 
     std::vector<CorpusEntry> corpus;
     if (!opt.corpus_path.empty() && !load_corpus(opt.corpus_path, &corpus)) {
@@ -327,6 +345,7 @@ int main(int argc, char** argv) {
         std::printf("mf_fuzz: wrote %zu corpus entries to %s\n", found.size(),
                     opt.write_corpus.c_str());
     }
+    dump_metrics();
     if (!report.clean()) {
         std::printf("mf_fuzz: FAIL\n");
         return 1;
