@@ -39,13 +39,13 @@ void run() {
     const MultiFloat<double, N> alpha(1.5);
 
     const double t_axpy_aos = bench::best_time([&] {
-        blas::axpy<MultiFloat<double, N>>(alpha, {xa.data(), n}, {ya.data(), n});
+        blas::axpy<MultiFloat<double, N>>(alpha, blas::view(xa), blas::view(ya));
     });
     const double t_axpy_soa = bench::best_time([&] { planar::axpy(alpha, x, y); });
     volatile double sink = 0.0;
     const double t_dot_aos = bench::best_time([&] {
         sink = sink + static_cast<double>(
-                          blas::dot<MultiFloat<double, N>>({xa.data(), n}, {ya.data(), n})
+                          blas::dot<MultiFloat<double, N>>(blas::view(xa), blas::view(ya))
                               .to_float());
     });
     const double t_dot_soa = bench::best_time(

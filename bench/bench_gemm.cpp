@@ -1,0 +1,146 @@
+// GEMM engine comparison: the untiled ikj sweep (planar::gemm) vs the tiled
+// driver (simd::gemm_tiled) vs the packed cache-blocked engine
+// (blas::gemm_packed), with machine-readable output (BENCH_gemm.json).
+//
+// All three compute bit-identical results (the conformance tier enforces
+// it), so this benchmark isolates pure data-movement/scheduling effects:
+// tiling reuses B rows from cache, packing additionally linearizes A and B
+// into contiguous aligned panels and holds the C micro-tile in registers
+// across the whole k extent. The headline comparison is Float64x2 at 512^3
+// (the paper's L3-resident GEMM regime); smaller dims and longer expansions
+// chart where each engine's overheads amortize. See EXPERIMENTS.md for the
+// analysis of these numbers on the CI machine (single core, FP-port-bound).
+//
+// Timings use median-of-K (bench::median_time): these records feed the
+// BENCH_*.json trajectories, where run-to-run robustness beats peak
+// flattery. The JSON is stamped with git SHA / compiler / thread count /
+// active backend (harness.cpp, via mf::telemetry::build_info()).
+//
+//   usage: bench_gemm [--quick] [output.json]     (default BENCH_gemm.json)
+
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "harness.hpp"
+#include "simd/simd.hpp"
+
+namespace {
+
+using namespace mf;
+
+// Native flops per one extended-precision op (mul + add); same accounting as
+// bench_simd.cpp (eft gate costs of the shipped networks).
+constexpr double flops_per_op(int n_limbs) {
+    switch (n_limbs) {
+        case 2: return 29.0;
+        case 3: return 150.0;
+        case 4: return 289.0;
+        default: return 2.0;
+    }
+}
+
+/// Launder a size through a volatile so the trip counts are runtime values
+/// for every engine alike (no constant-propagated specializations).
+std::size_t runtime_size(std::size_t v) {
+    volatile std::size_t s = v;
+    return s;
+}
+
+template <FloatingPoint T, int N>
+planar::Vector<T, N> random_planar(std::size_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    planar::Vector<T, N> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        v.set(i, MultiFloat<T, N>(static_cast<T>(bench::fill_value(rng))));
+    }
+    return v;
+}
+
+void report(bench::JsonReport& out, const char* kernel, const char* type,
+            int limbs, int width, double secs, double ops, std::size_t dim) {
+    const double ns = secs / ops * 1e9;
+    const double gflops = ops * flops_per_op(limbs) / secs / 1e9;
+    std::printf("  %-11s %-7s N=%d  %4zu^3  w=%-2d  %8.3f ns/op  %8.3f GFLOP-equiv/s\n",
+                kernel, type, limbs, dim, width, ns, gflops);
+    out.add({kernel, type, limbs,
+             simd::backend_name(simd::active_backend()), width, ns, gflops, dim});
+}
+
+/// One (type, N, n) cube through all three engines. C accumulates across
+/// reps for tiled/packed (their contract is C += A B) -- harmless for
+/// timing, and zeroing inside the lambda would bill the sweep's hidden
+/// zero-pass to the wrong engine.
+template <FloatingPoint T, int N>
+void run_cube(bench::JsonReport& out, const char* type_name, std::size_t dim,
+              double min_time) {
+    const std::size_t n = runtime_size(dim);
+    const double ops = double(n) * double(n) * double(n);
+    const auto a = random_planar<T, N>(n * n, 3);
+    const auto b = random_planar<T, N>(n * n, 4);
+    planar::Vector<T, N> c(n * n);
+    const int width = simd::active_width<T>();
+
+    const double ts = bench::median_time(
+        [&] { planar::gemm(a, b, c, n, n, n); }, min_time);
+    report(out, "gemm_sweep", type_name, N, width, ts, ops, n);
+
+    const double tt = bench::median_time(
+        [&] {
+            simd::gemm_tiled(planar::matrix_view(a, n, n),
+                             planar::matrix_view(b, n, n),
+                             planar::matrix_view(c, n, n));
+        },
+        min_time);
+    report(out, "gemm_tiled", type_name, N, width, tt, ops, n);
+
+    const double tp = bench::median_time(
+        [&] {
+            blas::gemm_packed(planar::matrix_view(a, n, n),
+                              planar::matrix_view(b, n, n),
+                              planar::matrix_view(c, n, n));
+        },
+        min_time);
+    report(out, "gemm_packed", type_name, N, width, tp, ops, n);
+
+    std::printf("  %-11s %-7s N=%d  %4zu^3  tiled/sweep %.3fx  packed/tiled %.3fx\n",
+                "(speedup)", type_name, N, n, ts / tt, tt / tp);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    std::string path = "BENCH_gemm.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else {
+            path = argv[i];
+        }
+    }
+    // Default (widest-detected) backend: the engines' relative standing is
+    // what this benchmark tracks; the per-backend spread is bench_simd's job.
+    std::printf("bench_gemm: sweep vs tiled vs packed (backend %s)%s\n",
+                simd::backend_name(simd::active_backend()),
+                quick ? " [quick]" : "");
+    bench::JsonReport out;
+    out.bench = "gemm_engines";
+    const double min_time = quick ? 0.05 : 0.25;
+
+    run_cube<double, 2>(out, "double", 128, min_time);
+    run_cube<double, 2>(out, "double", 256, min_time);
+    if (!quick) {
+        run_cube<double, 2>(out, "double", 512, min_time);  // headline cube
+    }
+    run_cube<double, 3>(out, "double", quick ? 96 : 160, min_time);
+    run_cube<double, 4>(out, "double", quick ? 64 : 128, min_time);
+    run_cube<float, 2>(out, "float", quick ? 128 : 256, min_time);
+
+    if (!out.write(path)) return 1;
+    std::printf("bench_gemm: wrote %s\n", path.c_str());
+    return 0;
+}

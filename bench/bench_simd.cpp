@@ -238,8 +238,11 @@ void run_type(bench::JsonReport& out, const char* type_name) {
             report(out, "gemm", type_name, N, simd::backend_name(b),
                    simd::active_width<T>(), tb, ops);
         }
-        const double tt = bench::median_time(
-            [&] { simd::gemm_tiled(a, bm, c, gn, gk, gm); });
+        const double tt = bench::median_time([&] {
+            simd::gemm_tiled(planar::matrix_view(a, gn, gk),
+                             planar::matrix_view(bm, gk, gm),
+                             planar::matrix_view(c, gn, gm));
+        });
         report(out, "gemm_tiled", type_name, N,
                simd::backend_name(simd::active_backend()),
                simd::active_width<T>(), tt, ops);

@@ -117,6 +117,7 @@ struct JsonRecord {
     int width = 0;        // pack lanes (0 for autovec)
     double ns_per_op = 0.0;
     double gflops_equiv = 0.0;
+    std::size_t dim = 0;  // problem dimension (GEMM n of n^3), 0 = n/a
 };
 
 /// Collects JsonRecords and writes one self-describing JSON document.

@@ -71,7 +71,7 @@ double calibrate_ops_per_sec() {
     volatile double sink = 0.0;
     const double t = best_time(
         [&] {
-            const V d = blas::dot<V>({x.data(), n}, {y.data(), n});
+            const V d = blas::dot<V>(blas::view(x), blas::view(y));
             sink = sink + to_dbl(d);
         },
         0.02, 2);
@@ -83,7 +83,7 @@ double run_axpy(std::size_t n, double min_time) {
     const auto x = make_vec<V>(n, 3);
     auto y = make_vec<V>(n, 4);
     const double t = best_time(
-        [&] { blas::axpy<V>(V(1.0009765625), {x.data(), n}, {y.data(), n}); }, min_time);
+        [&] { blas::axpy<V>(V(1.0009765625), blas::view(x), blas::view(y)); }, min_time);
     return static_cast<double>(n) / t / 1e9;
 }
 
@@ -94,7 +94,7 @@ double run_dot(std::size_t n, double min_time) {
     volatile double sink = 0.0;
     const double t = best_time(
         [&] {
-            const V d = blas::dot<V>({x.data(), n}, {y.data(), n});
+            const V d = blas::dot<V>(blas::view(x), blas::view(y));
             sink = sink + to_dbl(d);
         },
         min_time);
@@ -107,7 +107,7 @@ double run_gemv(std::size_t n, double min_time) {
     const auto x = make_vec<V>(n, 8);
     std::vector<V> y(n, V(0.0));
     const double t = best_time(
-        [&] { blas::gemv<V>({a.data(), n * n}, n, n, {x.data(), n}, {y.data(), n}); },
+        [&] { blas::gemv<V>(blas::view(a, n, n), blas::view(x), blas::view(y)); },
         min_time);
     return static_cast<double>(n) * static_cast<double>(n) / t / 1e9;
 }
@@ -119,7 +119,7 @@ double run_gemm(std::size_t n, double min_time) {
     std::vector<V> c(n * n, V(0.0));
     const double t = best_time(
         [&] {
-            blas::gemm<V>({a.data(), n * n}, {b.data(), n * n}, {c.data(), n * n}, n, n, n);
+            blas::gemm<V>(blas::view(a, n, n), blas::view(b, n, n), blas::view(c, n, n));
         },
         min_time);
     const double dn = static_cast<double>(n);

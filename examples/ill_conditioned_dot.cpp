@@ -61,7 +61,7 @@ template <typename V>
 double computed_dot(std::span<const double> x, std::span<const double> y) {
     std::vector<V> xv(x.begin(), x.end());
     std::vector<V> yv(y.begin(), y.end());
-    const V r = mf::blas::dot<V>({xv.data(), xv.size()}, {yv.data(), yv.size()});
+    const V r = mf::blas::dot<V>(mf::blas::view(xv), mf::blas::view(yv));
     if constexpr (std::is_same_v<V, double>) {
         return r;
     } else {

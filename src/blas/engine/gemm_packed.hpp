@@ -1,0 +1,166 @@
+#pragma once
+// BLIS-style packed cache-blocked GEMM engine (DESIGN.md §11).
+//
+// C += A B with A (n x k), B (k x m), C (n x m), all planar row-major views
+// -- the same accumulate contract as planar::gemm and simd::gemm_tiled.
+//
+// Loop structure (outside in), following the classical
+// Goto/BLIS decomposition:
+//
+//   jc over m in nc columns     B column-panel        (L3-resident packed)
+//    pc over k in kc rows       pack B(pc, jc) once   (ascending: kk order)
+//     ic over n in mc rows      macro-panels, parallel (owner-computes)
+//       pack A(ic, pc)          per-worker scratch     (L2-resident packed)
+//       jr over nc in NR cols   packed-B micro-panel   (L1-resident)
+//        ir over mc in MR rows  register micro-kernel  (microkernel.hpp)
+//
+// Block sizes mc/kc/nc are selected per detected backend at dispatch time
+// (auto_blocks below; pack width and expansion length set the micro-tile
+// footprint) and can be pinned via GemmConfig for experiments.
+//
+// Determinism/bit-identity: the pc loop ascends and the micro-kernel ascends
+// kk within each pc block, so every C element sees its k updates in exactly
+// planar::gemm's order, each update being the identical add(mul(.,.),.)
+// FPAN sequence; macro-panels partition whole C row blocks per worker
+// (owner-computes, threading.hpp), so no element is touched by two threads.
+// Result: bit-identical to sequential planar::gemm for every backend, thread
+// count, and threading substrate -- enforced by check::diff_gemm_packed and
+// the fuzz-smoke conformance tier.
+
+#include <algorithm>
+#include <cstddef>
+
+#include "../../simd/dispatch.hpp"
+#include "../../telemetry/events.hpp"
+#include "../planar.hpp"
+#include "microkernel.hpp"
+#include "packing.hpp"
+#include "threading.hpp"
+
+namespace mf::blas {
+
+/// Cache-block sizes for gemm_packed; 0 = select per detected backend.
+struct BlockShape {
+    std::size_t mc = 0;  ///< rows of a packed A block (L2 target)
+    std::size_t kc = 0;  ///< k-extent of packed A/B blocks (L1 target)
+    std::size_t nc = 0;  ///< columns of a packed B panel (L3 target)
+};
+
+/// Execution knobs for gemm_packed.
+struct GemmConfig {
+    BlockShape blocks{};  ///< 0-fields auto-selected per backend
+    engine::ThreadMode threads = engine::ThreadMode::automatic;
+    unsigned max_threads = 0;  ///< worker cap; 0 = runtime default
+};
+
+namespace engine {
+
+/// Fill the zero fields of `req` with per-backend defaults. The micro-tile
+/// geometry (mr x nr, from the active pack width W and expansion length N)
+/// sets the footprints: kc so a packed B micro-panel (kc x nr x N limbs)
+/// stays L1-resident under the A rows streaming through, mc so the packed A
+/// block (mc x kc) stays L2-resident, nc so the packed B panel (kc x nc)
+/// stays L3-resident. Cache targets are conservative fixed budgets (24 KiB /
+/// 192 KiB / 2 MiB) rather than probed sizes: the blocks only need to be
+/// comfortably inside each level, and fixed budgets keep runs reproducible
+/// across machines.
+template <std::floating_point T, int N>
+[[nodiscard]] inline BlockShape auto_blocks(int mr, int nr, BlockShape req) {
+    const std::size_t elem = sizeof(T) * static_cast<std::size_t>(N);
+    BlockShape bs = req;
+    if (bs.kc == 0) {
+        const std::size_t kc = (24u * 1024u) / (static_cast<std::size_t>(nr) * elem);
+        bs.kc = std::clamp<std::size_t>(kc, 32, 512);
+    }
+    if (bs.mc == 0) {
+        std::size_t mc = (192u * 1024u) / (bs.kc * elem);
+        mc -= mc % static_cast<std::size_t>(mr);
+        bs.mc = std::clamp<std::size_t>(mc, static_cast<std::size_t>(mr), 512);
+    }
+    if (bs.nc == 0) {
+        std::size_t nc = (2u * 1024u * 1024u) / (bs.kc * elem);
+        nc -= nc % static_cast<std::size_t>(nr);
+        bs.nc = std::clamp<std::size_t>(nc, static_cast<std::size_t>(nr), 8192);
+    }
+    return bs;
+}
+
+}  // namespace engine
+
+/// C += A B through packed panels and the register-blocked micro-kernel.
+/// Bit-identical to planar::gemm (see file header); degenerate shapes
+/// (any zero dimension) are no-ops.
+template <FloatingPoint T, int N>
+void gemm_packed(planar::ConstMatrixView<T, N> a, planar::ConstMatrixView<T, N> b,
+                 planar::MatrixView<T, N> c, const GemmConfig& cfg = {}) {
+    const std::size_t n = c.rows;
+    const std::size_t m = c.cols;
+    const std::size_t k = a.cols;
+    if (n == 0 || m == 0 || k == 0) return;
+    // One backend resolve per call, like gemm_tiled; everything below runs
+    // width-templated.
+    simd::with_active_width<T>([&](auto w) {
+        constexpr int W = w();
+        using MK = engine::MicroKernel<T, N, W>;
+        const BlockShape bs = engine::auto_blocks<T, N>(MK::MR, MK::NR, cfg.blocks);
+        engine::AlignedBuffer<T> bbuf;
+        const T* bpk[N];
+        for (std::size_t jc = 0; jc < m; jc += bs.nc) {
+            const std::size_t ncb = std::min(bs.nc, m - jc);
+            for (std::size_t pc = 0; pc < k; pc += bs.kc) {
+                const std::size_t kcb = std::min(bs.kc, k - pc);
+                // Packed once, read-only for every worker of the ic loop.
+                engine::pack_b<T, N>(b, pc, jc, kcb, ncb, bbuf, bpk);
+                const std::size_t nblocks = (n + bs.mc - 1) / bs.mc;
+                engine::parallel_blocks(
+                    nblocks,
+                    [&](std::size_t ib) {
+                        MF_TELEM_SPAN_TIMED("gemm_macro_panel",
+                                            "mf_gemm_macro_panel_ns");
+                        const std::size_t ic = ib * bs.mc;
+                        const std::size_t mcb = std::min(bs.mc, n - ic);
+                        engine::AlignedBuffer<T> abuf;  // per-worker scratch
+                        const T* apk[N];
+                        engine::pack_a<T, N>(a, ic, pc, mcb, kcb, abuf, apk);
+                        for (std::size_t jr = 0; jr < ncb; jr += MK::NR) {
+                            const std::size_t nrb = std::min<std::size_t>(
+                                static_cast<std::size_t>(MK::NR), ncb - jr);
+                            const T* bpt[N];
+                            for (int p = 0; p < N; ++p) bpt[p] = bpk[p] + jr;
+                            for (std::size_t ir = 0; ir < mcb; ir += MK::MR) {
+                                const std::size_t mrb = std::min<std::size_t>(
+                                    static_cast<std::size_t>(MK::MR), mcb - ir);
+                                const T* apt[N];
+                                T* cpt[N];
+                                for (int p = 0; p < N; ++p) {
+                                    apt[p] = apk[p] + ir * kcb;
+                                    cpt[p] = c.row(p, ic + ir) + jc + jr;
+                                }
+                                MF_TELEM_COUNT("mf_gemm_microkernel_total");
+                                if (mrb == static_cast<std::size_t>(MK::MR) &&
+                                    nrb == static_cast<std::size_t>(MK::NR)) {
+                                    MK::full(apt, kcb, bpt, ncb, cpt, c.stride, kcb);
+                                } else {
+                                    MK::edge(apt, kcb, bpt, ncb, cpt, c.stride,
+                                             kcb, mrb, nrb);
+                                }
+                            }
+                        }
+                    },
+                    cfg.threads, cfg.max_threads);
+            }
+        }
+    });
+}
+
+/// All-mutable-view overload: template deduction cannot cross the
+/// MatrixView -> ConstMatrixView conversion, so the common case of freshly
+/// built (mutable) views gets its own forwarder.
+template <FloatingPoint T, int N>
+void gemm_packed(planar::MatrixView<T, N> a, planar::MatrixView<T, N> b,
+                 planar::MatrixView<T, N> c, const GemmConfig& cfg = {}) {
+    gemm_packed<T, N>(planar::ConstMatrixView<T, N>(a),
+                      planar::ConstMatrixView<T, N>(b), c, cfg);
+}
+
+}  // namespace mf::blas

@@ -1,0 +1,116 @@
+#pragma once
+// Register-blocked mr x nr GEMM micro-kernel over packed panels
+// (DESIGN.md §11).
+//
+// One invocation computes C[0:mr, 0:nr] += A(0:mr, 0:kc) * B(0:kc, 0:nr)
+// with the C micro-tile held in MultiFloat<Pack<T, W>, N> accumulators for
+// the whole kc sweep: C traffic drops from one load+store per kk (the
+// fma_range sweep's cost) to one load+store per kc, packed-B rows are loaded
+// once per kk and reused across all mr rows, and the mr x nrp independent
+// accumulation chains give the out-of-order core far more exploitable ILP
+// than a single fma_range's one-chain-per-pack.
+//
+// Bit-identity argument: every output element receives exactly the update
+// planar::gemm applies -- add(mul(a_ik, b_kj), c_ij), the identical FPAN
+// gate sequence, in the identical kk-ascending order. Holding the partial
+// result in a register instead of storing/reloading it through the C plane
+// does not change any arithmetic, and pack lanes execute the same IEEE ops
+// as scalars (pack.hpp), so the packed result is bit-for-bit planar::gemm's
+// (enforced by check::diff_gemm_packed / tests/gemm_threads_test.cpp).
+//
+// Edge tiles (rows < mr from the last row block, cols < nr from the last
+// column block) drop to a per-row fma_range sweep over the packed panels --
+// a different loop shape but, per element, the same kk-ascending updates, so
+// identity holds at the edges too.
+
+#include <cstddef>
+
+#include "../../simd/kernels.hpp"
+#include "../../simd/pack.hpp"
+#include "../planar.hpp"
+
+namespace mf::blas::engine {
+
+/// Micro-kernel geometry and bodies for one (T, N, W) instantiation.
+template <std::floating_point T, int N, int W>
+struct MicroKernel {
+    using P = simd::Pack<T, W>;
+
+    /// Rows per micro-tile: four independent accumulation chains per pack
+    /// column -- enough ILP to cover the FPAN networks' dependent-add
+    /// latency without exhausting architectural registers.
+    static constexpr int MR = 4;
+    /// Packs per micro-tile row. Two for short expansions when the register
+    /// file allows it (AVX-512's 32 registers, or scalar packs where
+    /// "registers" are the compiler's problem); one otherwise -- N=3/4
+    /// accumulators already occupy MR*N registers.
+    static constexpr int NRP = (N <= 2 && (W >= 8 || W == 1)) ? 2 : 1;
+    /// Columns per micro-tile.
+    static constexpr int NR = NRP * W;
+
+    /// Full tile: C[0:MR, 0:NR] += A(0:MR, 0:kc) * B(0:kc, 0:NR).
+    /// ap[p]: packed A plane p at the tile's row origin, row stride lda (=kc);
+    /// bp[p]: packed B plane p at the tile's column origin, row stride ldb;
+    /// cp[p]: C plane p at the tile's (row, column) origin, row stride ldc.
+    static void full(const T* const (&ap)[N], std::size_t lda,
+                     const T* const (&bp)[N], std::size_t ldb,
+                     T* const (&cp)[N], std::size_t ldc, std::size_t kc) {
+        MultiFloat<P, N> acc[MR][NRP];
+        for (int r = 0; r < MR; ++r) {
+            for (int q = 0; q < NRP; ++q) {
+                for (int p = 0; p < N; ++p) {
+                    acc[r][q].limb[p] =
+                        P::load(cp[p] + static_cast<std::size_t>(r) * ldc + q * W);
+                }
+            }
+        }
+        for (std::size_t kk = 0; kk < kc; ++kk) {
+            MultiFloat<P, N> bv[NRP];
+            for (int q = 0; q < NRP; ++q) {
+                for (int p = 0; p < N; ++p) {
+                    bv[q].limb[p] = P::load(bp[p] + kk * ldb + q * W);
+                }
+            }
+            for (int r = 0; r < MR; ++r) {
+                MultiFloat<T, N> a_s;
+                for (int p = 0; p < N; ++p) {
+                    a_s.limb[p] = ap[p][static_cast<std::size_t>(r) * lda + kk];
+                }
+                const MultiFloat<P, N> av = simd::kernels::broadcast<P, T, N>(a_s);
+                for (int q = 0; q < NRP; ++q) {
+                    acc[r][q] = add(mul(av, bv[q]), acc[r][q]);
+                }
+            }
+        }
+        for (int r = 0; r < MR; ++r) {
+            for (int q = 0; q < NRP; ++q) {
+                for (int p = 0; p < N; ++p) {
+                    acc[r][q].limb[p].store(
+                        cp[p] + static_cast<std::size_t>(r) * ldc + q * W);
+                }
+            }
+        }
+    }
+
+    /// Partial tile (rows <= MR, cols <= NR, at least one of them short):
+    /// per-row kk-ascending fma_range sweeps over the packed panels -- same
+    /// per-element update sequence, memory-accumulated.
+    static void edge(const T* const (&ap)[N], std::size_t lda,
+                     const T* const (&bp)[N], std::size_t ldb,
+                     T* const (&cp)[N], std::size_t ldc, std::size_t kc,
+                     std::size_t rows, std::size_t cols) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            T* crow[N];
+            for (int p = 0; p < N; ++p) crow[p] = cp[p] + r * ldc;
+            for (std::size_t kk = 0; kk < kc; ++kk) {
+                MultiFloat<T, N> a_s;
+                for (int p = 0; p < N; ++p) a_s.limb[p] = ap[p][r * lda + kk];
+                const T* brow[N];
+                for (int p = 0; p < N; ++p) brow[p] = bp[p] + kk * ldb;
+                simd::kernels::fma_range<T, N, W>(a_s, brow, crow, 0, cols);
+            }
+        }
+    }
+};
+
+}  // namespace mf::blas::engine

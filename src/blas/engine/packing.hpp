@@ -1,0 +1,107 @@
+#pragma once
+// Panel packing for the BLIS-style GEMM engine (DESIGN.md §11).
+//
+// gemm_packed copies the A and B blocks a macro-iteration will touch into
+// contiguous 64-byte-aligned buffers before the micro-kernel sweeps them.
+// The payoff is the classical one: the micro-kernel then streams both
+// operands at unit stride from small, cache-resident, conflict-free panels
+// instead of striding through the full matrices.
+//
+// Panel layout: per-limb planes STAY planar inside the panel -- plane p of
+// the packed block occupies one contiguous slab, exactly like a shrunken
+// planar::Vector:
+//
+//   packed A (mc x kc):  buf[p * mc*kc + r * kc + kk]   (row-major rows)
+//   packed B (kc x nc):  buf[p * kc*nc + kk * nc + j]   (row-major rows)
+//
+// so the dispatched Pack<T, W> FPAN kernels run stride-1 loads over packed B
+// rows and packed C rows, and the per-(row, kk) A broadcast reads one scalar
+// per plane. Because the source views are planar and row-major too, every
+// copy below is a contiguous row segment: packing costs O(block) straight
+// memcpy-shaped loops, amortized over O(block * panel) flops.
+
+#include <cstddef>
+#include <new>
+
+#include "../../telemetry/events.hpp"
+#include "../planar.hpp"
+
+namespace mf::blas::engine {
+
+/// 64-byte-aligned uninitialized scratch, grow-only (reallocation keeps no
+/// contents: packing always overwrites the block it is about to use).
+template <typename T>
+class AlignedBuffer {
+public:
+    AlignedBuffer() = default;
+    ~AlignedBuffer() { release(); }
+    AlignedBuffer(const AlignedBuffer&) = delete;
+    AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+    static constexpr std::size_t alignment = 64;
+
+    /// Ensure capacity for n elements; returns the (aligned) base pointer.
+    T* ensure(std::size_t n) {
+        if (n > cap_) {
+            release();
+            p_ = static_cast<T*>(
+                ::operator new(n * sizeof(T), std::align_val_t{alignment}));
+            cap_ = n;
+        }
+        return p_;
+    }
+
+    [[nodiscard]] T* data() const noexcept { return p_; }
+
+private:
+    void release() noexcept {
+        if (p_) ::operator delete(p_, std::align_val_t{alignment});
+        p_ = nullptr;
+        cap_ = 0;
+    }
+
+    T* p_ = nullptr;
+    std::size_t cap_ = 0;
+};
+
+/// Pack the (mcb x kcb) block of A at (i0, k0) into `buf`, plane-major.
+/// On return planes[p] points at packed plane p (row stride kcb).
+template <std::floating_point T, int N>
+void pack_a(const planar::ConstMatrixView<T, N>& a, std::size_t i0, std::size_t k0,
+            std::size_t mcb, std::size_t kcb, AlignedBuffer<T>& buf,
+            const T* (&planes)[N]) {
+    T* dst = buf.ensure(static_cast<std::size_t>(N) * mcb * kcb);
+    for (int p = 0; p < N; ++p) {
+        T* plane = dst + static_cast<std::size_t>(p) * mcb * kcb;
+        planes[p] = plane;
+        for (std::size_t r = 0; r < mcb; ++r) {
+            const T* src = a.row(p, i0 + r) + k0;
+            T* out = plane + r * kcb;
+            for (std::size_t kk = 0; kk < kcb; ++kk) out[kk] = src[kk];
+        }
+    }
+    MF_TELEM_COUNT_N("mf_gemm_pack_bytes_total{panel=\"a\"}",
+                     static_cast<std::size_t>(N) * mcb * kcb * sizeof(T));
+}
+
+/// Pack the (kcb x ncb) block of B at (k0, j0) into `buf`, plane-major.
+/// On return planes[p] points at packed plane p (row stride ncb).
+template <std::floating_point T, int N>
+void pack_b(const planar::ConstMatrixView<T, N>& b, std::size_t k0, std::size_t j0,
+            std::size_t kcb, std::size_t ncb, AlignedBuffer<T>& buf,
+            const T* (&planes)[N]) {
+    T* dst = buf.ensure(static_cast<std::size_t>(N) * kcb * ncb);
+    for (int p = 0; p < N; ++p) {
+        T* plane = dst + static_cast<std::size_t>(p) * kcb * ncb;
+        planes[p] = plane;
+        for (std::size_t kk = 0; kk < kcb; ++kk) {
+            const T* src = b.row(p, k0 + kk) + j0;
+            T* out = plane + kk * ncb;
+            for (std::size_t j = 0; j < ncb; ++j) out[j] = src[j];
+        }
+    }
+    MF_TELEM_COUNT_N("mf_gemm_pack_bytes_total{panel=\"b\"}",
+                     static_cast<std::size_t>(N) * kcb * ncb * sizeof(T));
+}
+
+}  // namespace mf::blas::engine

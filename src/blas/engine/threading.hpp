@@ -1,0 +1,119 @@
+#pragma once
+// Static owner-computes parallelism for the packed GEMM engine
+// (DESIGN.md §11).
+//
+// gemm_packed parallelizes over macro-panels: contiguous mc-row blocks of C.
+// Each worker owns a contiguous range of whole blocks ("owner-computes"), so
+// every C element is written by exactly one thread and the kk-ascending
+// update order per element is untouched -- the result is bit-identical to
+// the sequential run for ANY worker count, which is what the conformance
+// differ enforces (check::diff_gemm_packed).
+//
+// Two execution substrates behind one entry point:
+//   * OpenMP (when compiled in): one parallel region per call, same
+//     omp_in_parallel() guard discipline as every other parallel region in
+//     this codebase -- called from inside an existing region we run serially
+//     instead of oversubscribing with nested teams;
+//   * a std::thread fallback pool, used when OpenMP is not compiled in, or
+//     on request (ThreadMode::pool) so OpenMP builds can still exercise and
+//     differential-test the fallback path.
+// Workers are forked per call; at macro-panel granularity (hundreds of
+// microseconds to milliseconds of work per block) the fork/join cost is
+// noise, and a persistent pool would be one more global to tear down.
+
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace mf::blas::engine {
+
+/// How parallel_blocks executes its workers.
+enum class ThreadMode {
+    automatic,  ///< OpenMP when compiled in, std::thread pool otherwise
+    pool,       ///< force the std::thread pool (testable in OpenMP builds)
+    serial,     ///< no worker threads at all
+};
+
+/// Same guard as blas::detail::in_parallel; redeclared here so the engine
+/// headers stay self-contained.
+inline bool in_parallel() noexcept {
+#if defined(_OPENMP)
+    return omp_in_parallel() != 0;
+#else
+    return false;
+#endif
+}
+
+/// Worker count the runtime would grant right now (OpenMP's max_threads or
+/// hardware_concurrency).
+[[nodiscard]] inline unsigned default_threads() noexcept {
+#if defined(_OPENMP)
+    return static_cast<unsigned>(omp_get_max_threads());
+#else
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc ? hc : 1u;
+#endif
+}
+
+namespace detail {
+
+/// Blocks owned by worker `w` of `nw`: the contiguous range
+/// [nblocks*w/nw, nblocks*(w+1)/nw) -- the same static partition for both
+/// substrates, so OpenMP and pool runs even share their work assignment.
+template <typename F>
+void run_pool(unsigned nw, std::size_t nblocks, F&& fn) {
+    std::vector<std::thread> workers;
+    workers.reserve(nw - 1);
+    for (unsigned w = 1; w < nw; ++w) {
+        workers.emplace_back([&fn, w, nw, nblocks] {
+            const std::size_t lo = nblocks * w / nw;
+            const std::size_t hi = nblocks * (w + 1) / nw;
+            for (std::size_t blk = lo; blk < hi; ++blk) fn(blk);
+        });
+    }
+    const std::size_t hi0 = nblocks / nw;  // worker 0 = the calling thread
+    for (std::size_t blk = 0; blk < hi0; ++blk) fn(blk);
+    for (auto& t : workers) t.join();
+}
+
+}  // namespace detail
+
+/// Run fn(block) for every block in [0, nblocks), statically partitioned
+/// over up to max_threads workers (0 = runtime default). Serializes when
+/// nested inside an existing OpenMP parallel region.
+template <typename F>
+void parallel_blocks(std::size_t nblocks, F&& fn,
+                     ThreadMode mode = ThreadMode::automatic,
+                     unsigned max_threads = 0) {
+    unsigned nw = max_threads ? max_threads : default_threads();
+    if (nw > nblocks) nw = static_cast<unsigned>(nblocks);
+    if (mode == ThreadMode::serial || in_parallel() || nw <= 1) {
+        for (std::size_t blk = 0; blk < nblocks; ++blk) fn(blk);
+        return;
+    }
+    if (mode == ThreadMode::pool) {
+        detail::run_pool(nw, nblocks, std::forward<F>(fn));
+        return;
+    }
+#if defined(_OPENMP)
+#pragma omp parallel num_threads(static_cast<int>(nw))
+    {
+        // Partition by the team size actually granted (can be < nw); the
+        // result does not depend on it -- only the work assignment does.
+        const auto team = static_cast<unsigned>(omp_get_num_threads());
+        const auto w = static_cast<unsigned>(omp_get_thread_num());
+        const std::size_t lo = nblocks * w / team;
+        const std::size_t hi = nblocks * (w + 1) / team;
+        for (std::size_t blk = lo; blk < hi; ++blk) fn(blk);
+    }
+#else
+    detail::run_pool(nw, nblocks, std::forward<F>(fn));
+#endif
+}
+
+}  // namespace mf::blas::engine

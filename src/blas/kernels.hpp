@@ -4,7 +4,14 @@
 // (MultiFloat, QD, CAMPARY, BigFloat/PrecFloat, GMP, __float128, plain
 // double/float) runs the IDENTICAL kernel code.
 //
-// MultiFloat spans additionally take an explicit-SIMD fast path: the loop
+// The public signatures take the typed views of views.hpp -- a vector view
+// carries (data, size), a matrix view carries (data, rows, cols, stride) --
+// so shapes travel with the data and sub-matrix blocks (stride > cols) work
+// without copying. The historical `std::span + n, k, m` signatures survive
+// as thin [[deprecated]] forwarding wrappers below; they assume contiguous
+// storage exactly as before.
+//
+// MultiFloat views additionally take an explicit-SIMD fast path: the loop
 // bodies run on mf::simd packs (runtime-dispatched to the widest available
 // backend, scalar tail loops for remainders) instead of relying on the
 // auto-vectorizer. The `if constexpr` split keeps a single kernel entry
@@ -28,6 +35,7 @@
 
 #include "../mf/multifloat.hpp"
 #include "../simd/dispatch.hpp"
+#include "views.hpp"
 
 #if defined(_OPENMP)
 #include <omp.h>
@@ -57,8 +65,8 @@ inline constexpr bool is_multifloat_v<MultiFloat<T, N>> = std::floating_point<T>
 
 /// y <- alpha * x + y
 template <typename V>
-void axpy(const V& alpha, std::span<const V> x, std::span<V> y) {
-    const std::size_t n = x.size();
+void axpy(const V& alpha, ConstVectorView<V> x, VectorView<V> y) {
+    const std::size_t n = x.size;
     if constexpr (detail::is_multifloat_v<V>) {
         using T = typename V::value_type;
         constexpr int N = V::num_limbs;
@@ -69,7 +77,7 @@ void axpy(const V& alpha, std::span<const V> x, std::span<V> y) {
         for (std::size_t c = 0; c < nchunks; ++c) {
             const std::size_t lo = c * chunk;
             const std::size_t hi = (lo + chunk < n) ? lo + chunk : n;
-            simd::axpy_aos<T, N>(alpha, x.data() + lo, y.data() + lo, hi - lo);
+            simd::axpy_aos<T, N>(alpha, x.data + lo, y.data + lo, hi - lo);
         }
     } else {
 #pragma omp parallel for schedule(static) \
@@ -88,8 +96,8 @@ void axpy(const V& alpha, std::span<const V> x, std::span<V> y) {
 /// MultiFloats' DOT advantage over libraries whose operations cannot be
 /// interleaved.
 template <typename V>
-[[nodiscard]] V dot(std::span<const V> x, std::span<const V> y) {
-    const std::size_t n = x.size();
+[[nodiscard]] V dot(ConstVectorView<V> x, ConstVectorView<V> y) {
+    const std::size_t n = x.size;
     if constexpr (detail::is_multifloat_v<V>) {
         using T = typename V::value_type;
         constexpr int N = V::num_limbs;
@@ -105,7 +113,7 @@ template <typename V>
 #endif
             const std::size_t lo = n * tid / nt;
             const std::size_t hi = n * (tid + 1) / nt;
-            const V local = simd::dot_aos<T, N>(x.data() + lo, y.data() + lo, hi - lo);
+            const V local = simd::dot_aos<T, N>(x.data + lo, y.data + lo, hi - lo);
 #pragma omp critical
             acc += local;
         }
@@ -134,32 +142,34 @@ template <typename V>
     }
 }
 
-/// y <- A x  (A row-major n x m; ij loop order; MultiFloat rows reduce
+/// y <- A x  (A row-major rows x cols; ij loop order; MultiFloat rows reduce
 /// through the pack dot kernel, other types use a 4-way unrolled inner dot)
 template <typename V>
-void gemv(std::span<const V> a, std::size_t n, std::size_t m,
-          std::span<const V> x, std::span<V> y) {
+void gemv(ConstMatrixView<V> a, ConstVectorView<V> x, VectorView<V> y) {
+    const std::size_t n = a.rows;
+    const std::size_t m = a.cols;
     if constexpr (detail::is_multifloat_v<V>) {
         using T = typename V::value_type;
         constexpr int N = V::num_limbs;
 #pragma omp parallel for schedule(static) if (n > 64 && !detail::in_parallel())
         for (std::size_t i = 0; i < n; ++i) {
-            y[i] = simd::dot_aos<T, N>(a.data() + i * m, x.data(), m);
+            y[i] = simd::dot_aos<T, N>(a.row(i), x.data, m);
         }
     } else {
         constexpr std::size_t K = 4;
 #pragma omp parallel for schedule(static) if (n > 64 && !detail::in_parallel())
         for (std::size_t i = 0; i < n; ++i) {
+            const V* arow = a.row(i);
             V part[K]{};
             for (std::size_t blk = 0; blk < m / K; ++blk) {
                 for (std::size_t k = 0; k < K; ++k) {
-                    part[k] += a[i * m + blk * K + k] * x[blk * K + k];
+                    part[k] += arow[blk * K + k] * x[blk * K + k];
                 }
             }
             V acc{};
             for (std::size_t k = 0; k < K; ++k) acc += part[k];
             for (std::size_t j = m - m % K; j < m; ++j) {
-                acc += a[i * m + j] * x[j];
+                acc += arow[j] * x[j];
             }
             y[i] = acc;
         }
@@ -168,8 +178,8 @@ void gemv(std::span<const V> a, std::size_t n, std::size_t m,
 
 /// x <- alpha * x
 template <typename V>
-void scal(const V& alpha, std::span<V> x) {
-    const std::size_t n = x.size();
+void scal(const V& alpha, VectorView<V> x) {
+    const std::size_t n = x.size;
 #pragma omp parallel for schedule(static) if (n > 4096 && !detail::in_parallel())
     for (std::size_t i = 0; i < n; ++i) {
         x[i] *= alpha;
@@ -178,47 +188,48 @@ void scal(const V& alpha, std::span<V> x) {
 
 /// sum_i |x_i|  (abs is found by ADL for expansions, std::abs for scalars)
 template <typename V>
-[[nodiscard]] V asum(std::span<const V> x) {
+[[nodiscard]] V asum(ConstVectorView<V> x) {
     using std::abs;
     V acc{};
-    for (const V& v : x) acc += abs(v);
+    for (std::size_t i = 0; i < x.size; ++i) acc += abs(x[i]);
     return acc;
 }
 
 /// sqrt(<x, x>)  (sqrt found by ADL for expansions)
 template <typename V>
-[[nodiscard]] V nrm2(std::span<const V> x) {
+[[nodiscard]] V nrm2(ConstVectorView<V> x) {
     using std::sqrt;
     return sqrt(dot<V>(x, x));
 }
 
 /// Index of the element with the largest magnitude (0 for empty input).
 template <typename V>
-[[nodiscard]] std::size_t iamax(std::span<const V> x) {
+[[nodiscard]] std::size_t iamax(ConstVectorView<V> x) {
     using std::abs;
     std::size_t best = 0;
-    for (std::size_t i = 1; i < x.size(); ++i) {
+    for (std::size_t i = 1; i < x.size; ++i) {
         if (abs(x[best]) < abs(x[i])) best = i;
     }
     return best;
 }
 
-/// A <- A + alpha * x y^T  (rank-1 update; A row-major n x m)
+/// A <- A + alpha * x y^T  (rank-1 update; A row-major x.size x y.size)
 template <typename V>
-void ger(const V& alpha, std::span<const V> x, std::span<const V> y,
-         std::span<V> a) {
-    const std::size_t n = x.size();
-    const std::size_t m = y.size();
+void ger(const V& alpha, ConstVectorView<V> x, ConstVectorView<V> y,
+         MatrixView<V> a) {
+    const std::size_t n = x.size;
+    const std::size_t m = y.size;
 #pragma omp parallel for schedule(static) if (n > 64 && !detail::in_parallel())
     for (std::size_t i = 0; i < n; ++i) {
         const V ax = alpha * x[i];
         if constexpr (detail::is_multifloat_v<V>) {
             using T = typename V::value_type;
             constexpr int N = V::num_limbs;
-            simd::axpy_aos<T, N>(ax, y.data(), a.data() + i * m, m);
+            simd::axpy_aos<T, N>(ax, y.data, a.row(i), m);
         } else {
+            V* arow = a.row(i);
             for (std::size_t j = 0; j < m; ++j) {
-                a[i * m + j] += ax * y[j];
+                arow[j] += ax * y[j];
             }
         }
     }
@@ -226,24 +237,100 @@ void ger(const V& alpha, std::span<const V> x, std::span<const V> y,
 
 /// C <- A B  (row-major; C is n x m, A is n x k, B is k x m; ikj loop order)
 template <typename V>
-void gemm(std::span<const V> a, std::span<const V> b, std::span<V> c,
-          std::size_t n, std::size_t k, std::size_t m) {
+void gemm(ConstMatrixView<V> a, ConstMatrixView<V> b, MatrixView<V> c) {
+    const std::size_t n = c.rows;
+    const std::size_t m = c.cols;
+    const std::size_t k = a.cols;
 #pragma omp parallel for schedule(static) if (n > 16 && !detail::in_parallel())
     for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = 0; j < m; ++j) c[i * m + j] = V{};
+        V* crow = c.row(i);
+        const V* arow = a.row(i);
+        for (std::size_t j = 0; j < m; ++j) crow[j] = V{};
         for (std::size_t kk = 0; kk < k; ++kk) {
-            const V aik = a[i * k + kk];
+            const V aik = arow[kk];
             if constexpr (detail::is_multifloat_v<V>) {
                 using T = typename V::value_type;
                 constexpr int N = V::num_limbs;
-                simd::axpy_aos<T, N>(aik, b.data() + kk * m, c.data() + i * m, m);
+                simd::axpy_aos<T, N>(aik, b.row(kk), crow, m);
             } else {
+                const V* brow = b.row(kk);
                 for (std::size_t j = 0; j < m; ++j) {
-                    c[i * m + j] += aik * b[kk * m + j];
+                    crow[j] += aik * brow[j];
                 }
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated span-based signatures (pre-view API). Thin forwarders; will be
+// removed once external callers have migrated. All in-repo callers use the
+// view API; tests/blas_views_test.cpp keeps these compiling under a local
+// -Wdeprecated-declarations suppression.
+// ---------------------------------------------------------------------------
+
+template <typename V>
+[[deprecated("use axpy(alpha, ConstVectorView, VectorView)")]]
+void axpy(const V& alpha, std::span<const V> x, std::span<V> y) {
+    axpy<V>(alpha, ConstVectorView<V>{x.data(), x.size()},
+            VectorView<V>{y.data(), y.size()});
+}
+
+template <typename V>
+[[deprecated("use dot(ConstVectorView, ConstVectorView)")]]
+[[nodiscard]] V dot(std::span<const V> x, std::span<const V> y) {
+    return dot<V>(ConstVectorView<V>{x.data(), x.size()},
+                  ConstVectorView<V>{y.data(), y.size()});
+}
+
+template <typename V>
+[[deprecated("use gemv(ConstMatrixView, ConstVectorView, VectorView)")]]
+void gemv(std::span<const V> a, std::size_t n, std::size_t m,
+          std::span<const V> x, std::span<V> y) {
+    gemv<V>(ConstMatrixView<V>{a.data(), n, m},
+            ConstVectorView<V>{x.data(), x.size()},
+            VectorView<V>{y.data(), y.size()});
+}
+
+template <typename V>
+[[deprecated("use scal(alpha, VectorView)")]]
+void scal(const V& alpha, std::span<V> x) {
+    scal<V>(alpha, VectorView<V>{x.data(), x.size()});
+}
+
+template <typename V>
+[[deprecated("use asum(ConstVectorView)")]]
+[[nodiscard]] V asum(std::span<const V> x) {
+    return asum<V>(ConstVectorView<V>{x.data(), x.size()});
+}
+
+template <typename V>
+[[deprecated("use nrm2(ConstVectorView)")]]
+[[nodiscard]] V nrm2(std::span<const V> x) {
+    return nrm2<V>(ConstVectorView<V>{x.data(), x.size()});
+}
+
+template <typename V>
+[[deprecated("use iamax(ConstVectorView)")]]
+[[nodiscard]] std::size_t iamax(std::span<const V> x) {
+    return iamax<V>(ConstVectorView<V>{x.data(), x.size()});
+}
+
+template <typename V>
+[[deprecated("use ger(alpha, ConstVectorView, ConstVectorView, MatrixView)")]]
+void ger(const V& alpha, std::span<const V> x, std::span<const V> y,
+         std::span<V> a) {
+    ger<V>(alpha, ConstVectorView<V>{x.data(), x.size()},
+           ConstVectorView<V>{y.data(), y.size()},
+           MatrixView<V>{a.data(), x.size(), y.size()});
+}
+
+template <typename V>
+[[deprecated("use gemm(ConstMatrixView, ConstMatrixView, MatrixView)")]]
+void gemm(std::span<const V> a, std::span<const V> b, std::span<V> c,
+          std::size_t n, std::size_t k, std::size_t m) {
+    gemm<V>(ConstMatrixView<V>{a.data(), n, k}, ConstMatrixView<V>{b.data(), k, m},
+            MatrixView<V>{c.data(), n, m});
 }
 
 }  // namespace mf::blas

@@ -62,6 +62,99 @@ private:
     std::size_t size_ = 0;
 };
 
+/// Read-only row-major matrix view over planar storage: one base pointer per
+/// limb plane plus (rows, cols, stride), where `stride` is the element
+/// distance between consecutive row starts within each plane (>= cols;
+/// defaults to cols). This is the matrix argument type of the planar GEMM
+/// engines (simd::gemm_tiled, blas::gemm_packed): shapes travel with the
+/// data, and a sub-block of a larger planar matrix is just a view with
+/// offset plane pointers and the parent's stride.
+template <FloatingPoint T, int N>
+struct ConstMatrixView {
+    const T* planes[N] = {};
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::size_t stride = 0;
+
+    constexpr ConstMatrixView() = default;
+    ConstMatrixView(const Vector<T, N>& v, std::size_t r, std::size_t c,
+                    std::size_t ld = 0) noexcept
+        : rows(r), cols(c), stride(ld ? ld : c) {
+        for (int k = 0; k < N; ++k) planes[k] = v.plane(k);
+    }
+    constexpr ConstMatrixView(const T* const (&p)[N], std::size_t r, std::size_t c,
+                              std::size_t ld = 0) noexcept
+        : rows(r), cols(c), stride(ld ? ld : c) {
+        for (int k = 0; k < N; ++k) planes[k] = p[k];
+    }
+
+    /// Base pointer of row i in plane k.
+    [[nodiscard]] constexpr const T* row(int k, std::size_t i) const noexcept {
+        return planes[k] + i * stride;
+    }
+    [[nodiscard]] MultiFloat<T, N> get(std::size_t i, std::size_t j) const noexcept {
+        MultiFloat<T, N> x;
+        for (int k = 0; k < N; ++k) x.limb[k] = planes[k][i * stride + j];
+        return x;
+    }
+};
+
+/// Mutable flavor of ConstMatrixView; converts implicitly to it.
+template <FloatingPoint T, int N>
+struct MatrixView {
+    T* planes[N] = {};
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::size_t stride = 0;
+
+    constexpr MatrixView() = default;
+    MatrixView(Vector<T, N>& v, std::size_t r, std::size_t c,
+               std::size_t ld = 0) noexcept
+        : rows(r), cols(c), stride(ld ? ld : c) {
+        for (int k = 0; k < N; ++k) planes[k] = v.plane(k);
+    }
+    constexpr MatrixView(T* const (&p)[N], std::size_t r, std::size_t c,
+                         std::size_t ld = 0) noexcept
+        : rows(r), cols(c), stride(ld ? ld : c) {
+        for (int k = 0; k < N; ++k) planes[k] = p[k];
+    }
+
+    constexpr operator ConstMatrixView<T, N>() const noexcept {
+        ConstMatrixView<T, N> cv;
+        for (int k = 0; k < N; ++k) cv.planes[k] = planes[k];
+        cv.rows = rows;
+        cv.cols = cols;
+        cv.stride = stride;
+        return cv;
+    }
+
+    [[nodiscard]] constexpr T* row(int k, std::size_t i) const noexcept {
+        return planes[k] + i * stride;
+    }
+    [[nodiscard]] MultiFloat<T, N> get(std::size_t i, std::size_t j) const noexcept {
+        MultiFloat<T, N> x;
+        for (int k = 0; k < N; ++k) x.limb[k] = planes[k][i * stride + j];
+        return x;
+    }
+    void set(std::size_t i, std::size_t j, const MultiFloat<T, N>& x) const noexcept {
+        for (int k = 0; k < N; ++k) planes[k][i * stride + j] = x.limb[k];
+    }
+};
+
+/// View a planar Vector as a rows x cols row-major matrix.
+template <FloatingPoint T, int N>
+[[nodiscard]] ConstMatrixView<T, N> matrix_view(const Vector<T, N>& v,
+                                                std::size_t rows, std::size_t cols,
+                                                std::size_t stride = 0) noexcept {
+    return ConstMatrixView<T, N>(v, rows, cols, stride);
+}
+template <FloatingPoint T, int N>
+[[nodiscard]] MatrixView<T, N> matrix_view(Vector<T, N>& v, std::size_t rows,
+                                           std::size_t cols,
+                                           std::size_t stride = 0) noexcept {
+    return MatrixView<T, N>(v, rows, cols, stride);
+}
+
 namespace detail {
 
 /// Elementwise z = x + y over raw planes [i0, i1): W elements at a time

@@ -1,0 +1,140 @@
+#pragma once
+// Typed views for the mf::blas public API: a (pointer, extent) pair for
+// vectors and a (pointer, rows, cols, stride) quadruple for row-major
+// matrices, in const and mutable flavors.
+//
+// Rationale (DESIGN.md §11): the historical signatures passed raw
+// `std::span + n, k, m` positional sizes, so every call site restated the
+// shape bookkeeping and nothing stopped a transposed (n, m) swap from
+// compiling. A view carries its own shape, supports row strides (sub-matrix
+// blocks without copying), and gives gemm/gemv a self-describing signature:
+//
+//   blas::gemm(blas::view(a, n, k), blas::view(b, k, m), blas::view(c, n, m));
+//
+// Views are intentionally NOT ranges and have NO std::span constructor:
+// overload resolution must keep the deprecated span signatures (exact match
+// for existing span callers) strictly apart from the view signatures, with
+// no braced-initializer ambiguity in either direction.
+//
+// Mutable views convert implicitly to const views, so explicit-template-arg
+// call sites (`blas::dot<V>(x, y)`) accept either. Deduced call sites pass
+// ConstVectorView / ConstMatrixView (or the `view()` factory on a const
+// container) for inputs.
+
+#include <cstddef>
+#include <vector>
+
+namespace mf::blas {
+
+/// Mutable contiguous vector view.
+template <typename V>
+struct VectorView {
+    V* data = nullptr;
+    std::size_t size = 0;
+
+    constexpr VectorView() = default;
+    constexpr VectorView(V* d, std::size_t n) noexcept : data(d), size(n) {}
+
+    [[nodiscard]] constexpr V& operator[](std::size_t i) const noexcept {
+        return data[i];
+    }
+    [[nodiscard]] constexpr bool empty() const noexcept { return size == 0; }
+};
+
+/// Read-only contiguous vector view; implicitly constructible from the
+/// mutable view.
+template <typename V>
+struct ConstVectorView {
+    const V* data = nullptr;
+    std::size_t size = 0;
+
+    constexpr ConstVectorView() = default;
+    constexpr ConstVectorView(const V* d, std::size_t n) noexcept
+        : data(d), size(n) {}
+    constexpr ConstVectorView(VectorView<V> v) noexcept
+        : data(v.data), size(v.size) {}
+
+    [[nodiscard]] constexpr const V& operator[](std::size_t i) const noexcept {
+        return data[i];
+    }
+    [[nodiscard]] constexpr bool empty() const noexcept { return size == 0; }
+};
+
+/// Mutable row-major matrix view. `stride` is the element distance between
+/// consecutive row starts (>= cols; defaults to cols, i.e. contiguous).
+template <typename V>
+struct MatrixView {
+    V* data = nullptr;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::size_t stride = 0;
+
+    constexpr MatrixView() = default;
+    constexpr MatrixView(V* d, std::size_t r, std::size_t c,
+                         std::size_t ld = 0) noexcept
+        : data(d), rows(r), cols(c), stride(ld ? ld : c) {}
+
+    [[nodiscard]] constexpr V* row(std::size_t i) const noexcept {
+        return data + i * stride;
+    }
+    [[nodiscard]] constexpr V& operator()(std::size_t i, std::size_t j) const noexcept {
+        return data[i * stride + j];
+    }
+    /// Row-major contiguous (a span over rows*cols elements is valid)?
+    [[nodiscard]] constexpr bool contiguous() const noexcept {
+        return stride == cols;
+    }
+};
+
+/// Read-only row-major matrix view; implicitly constructible from the
+/// mutable view.
+template <typename V>
+struct ConstMatrixView {
+    const V* data = nullptr;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::size_t stride = 0;
+
+    constexpr ConstMatrixView() = default;
+    constexpr ConstMatrixView(const V* d, std::size_t r, std::size_t c,
+                              std::size_t ld = 0) noexcept
+        : data(d), rows(r), cols(c), stride(ld ? ld : c) {}
+    constexpr ConstMatrixView(MatrixView<V> v) noexcept
+        : data(v.data), rows(v.rows), cols(v.cols), stride(v.stride) {}
+
+    [[nodiscard]] constexpr const V* row(std::size_t i) const noexcept {
+        return data + i * stride;
+    }
+    [[nodiscard]] constexpr const V& operator()(std::size_t i,
+                                                std::size_t j) const noexcept {
+        return data[i * stride + j];
+    }
+    [[nodiscard]] constexpr bool contiguous() const noexcept {
+        return stride == cols;
+    }
+};
+
+// --- factories: the idiomatic way to view std::vector-backed storage -------
+
+template <typename V>
+[[nodiscard]] constexpr VectorView<V> view(std::vector<V>& v) noexcept {
+    return {v.data(), v.size()};
+}
+template <typename V>
+[[nodiscard]] constexpr ConstVectorView<V> view(const std::vector<V>& v) noexcept {
+    return {v.data(), v.size()};
+}
+template <typename V>
+[[nodiscard]] constexpr MatrixView<V> view(std::vector<V>& v, std::size_t rows,
+                                           std::size_t cols,
+                                           std::size_t stride = 0) noexcept {
+    return {v.data(), rows, cols, stride};
+}
+template <typename V>
+[[nodiscard]] constexpr ConstMatrixView<V> view(const std::vector<V>& v,
+                                                std::size_t rows, std::size_t cols,
+                                                std::size_t stride = 0) noexcept {
+    return {v.data(), rows, cols, stride};
+}
+
+}  // namespace mf::blas

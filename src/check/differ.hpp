@@ -11,7 +11,11 @@
 //   * the dot reduction, which additionally pins the historical
 //     eight-accumulator merge order for widths <= 8;
 //   * gemm_tiled vs. sequential planar::gemm under varying OpenMP thread
-//     counts and inside an enclosing parallel region (nesting guard).
+//     counts and inside an enclosing parallel region (nesting guard);
+//   * gemm_packed (the blas/engine packed cache-blocked GEMM) vs. sequential
+//     planar::gemm across every available backend, thread count, and
+//     threading substrate (OpenMP and the std::thread pool), including
+//     deliberately tiny cache blocks so pack edges are exercised.
 //
 // Comparison is raw bit identity per limb, except that any-NaN == any-NaN:
 // lanes that produce NaN must agree on NaN-ness, not on payload bits.
@@ -22,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "../blas/engine/gemm_packed.hpp"
 #include "../blas/planar.hpp"
 #include "../simd/simd.hpp"
 #include "../simd/tiling.hpp"
@@ -35,7 +40,8 @@ namespace mf::check {
 
 /// One diffed (kernel, backend/schedule) combination.
 struct DiffRecord {
-    std::string kernel;   ///< "add_range" | "fma_range" | "dot" | "gemm_tiled"
+    std::string kernel;   ///< "add_range" | "fma_range" | "dot" | "gemm_tiled" |
+                          ///< "gemm_packed"
     std::string type;     ///< "double" | "float"
     int limbs = 0;
     std::string backend;  ///< backend name, or "threads=K" / "nested" for gemm
@@ -209,11 +215,23 @@ template <std::floating_point T, int N>
         if (t != 1) continue;
 #endif
         planar::Vector<T, N> c(n * m);
-        simd::gemm_tiled(a, b, c, n, k, m, tile);
+        simd::gemm_tiled(planar::matrix_view(a, n, k), planar::matrix_view(b, k, m),
+                         planar::matrix_view(c, n, m), tile);
         DiffRecord rec{"gemm_tiled", type, N, "threads=" + std::to_string(t),
                        simd::active_width<T>(), n * m,
                        detail::count_mismatches(c, want, n * m)};
         out.push_back(std::move(rec));
+        // The packed engine under the same thread budget (its own worker
+        // partition, not OpenMP's loop schedule -- max_threads caps it).
+        planar::Vector<T, N> cp(n * m);
+        blas::GemmConfig pcfg;
+        pcfg.max_threads = static_cast<unsigned>(t);
+        blas::gemm_packed(planar::matrix_view(a, n, k), planar::matrix_view(b, k, m),
+                          planar::matrix_view(cp, n, m), pcfg);
+        DiffRecord prec{"gemm_packed", type, N, "threads=" + std::to_string(t),
+                        simd::active_width<T>(), n * m,
+                        detail::count_mismatches(cp, want, n * m)};
+        out.push_back(std::move(prec));
     }
 #if defined(_OPENMP)
     omp_set_num_threads(saved_threads);
@@ -230,7 +248,9 @@ template <std::floating_point T, int N>
 #pragma omp critical
             was_parallel = was_parallel || omp_in_parallel() != 0;
             if (id < 2) {
-                simd::gemm_tiled(a, b, *cs[id], n, k, m, tile);
+                simd::gemm_tiled(planar::matrix_view(a, n, k),
+                                 planar::matrix_view(b, k, m),
+                                 planar::matrix_view(*cs[id], n, m), tile);
                 done[id] = true;
             }
         }
@@ -244,6 +264,58 @@ template <std::floating_point T, int N>
         out.push_back(std::move(rec));
     }
 #endif
+    return out;
+}
+
+/// Diff gemm_packed against sequential planar::gemm across every available
+/// backend x worker count x threading substrate (OpenMP-automatic and the
+/// std::thread pool). `blocks` pins the cache blocks -- pass deliberately
+/// tiny ones (e.g. {8, 8, 16}) to force many pack edges and remainder
+/// micro-tiles; the default auto-selects per backend.
+template <std::floating_point T, int N>
+[[nodiscard]] std::vector<DiffRecord> diff_gemm_packed(
+    std::uint64_t seed, std::size_t n, std::size_t k, std::size_t m,
+    const std::vector<int>& thread_counts, const GenConfig& cfg = {},
+    blas::BlockShape blocks = {}) {
+    const char* type = sizeof(T) == 8 ? "double" : "float";
+    std::mt19937_64 rng(seed);
+    planar::Vector<T, N> a, b;
+    detail::fill_vectors(rng, n * k, cfg, a);
+    detail::fill_vectors(rng, k * m, cfg, b);
+    planar::Vector<T, N> want(n * m);
+    planar::gemm(a, b, want, n, k, m);
+
+    std::vector<DiffRecord> out;
+    detail::BackendGuard guard;
+    for (simd::Backend bk : {simd::Backend::scalar, simd::Backend::sse2,
+                             simd::Backend::avx2, simd::Backend::avx512,
+                             simd::Backend::neon}) {
+        if (!simd::backend_available(bk)) continue;
+        simd::set_backend(bk);
+        for (int t : thread_counts) {
+            for (blas::engine::ThreadMode mode :
+                 {blas::engine::ThreadMode::automatic,
+                  blas::engine::ThreadMode::pool}) {
+                planar::Vector<T, N> c(n * m);
+                blas::GemmConfig pcfg;
+                pcfg.blocks = blocks;
+                pcfg.threads = mode;
+                pcfg.max_threads = static_cast<unsigned>(t);
+                blas::gemm_packed(planar::matrix_view(a, n, k),
+                                  planar::matrix_view(b, k, m),
+                                  planar::matrix_view(c, n, m), pcfg);
+                std::string label = std::string(simd::backend_name(bk)) +
+                                    "/threads=" + std::to_string(t) +
+                                    (mode == blas::engine::ThreadMode::pool
+                                         ? "/pool"
+                                         : "/auto");
+                DiffRecord rec{"gemm_packed", type, N, std::move(label),
+                               simd::backend_width<T>(bk), n * m,
+                               detail::count_mismatches(c, want, n * m)};
+                out.push_back(std::move(rec));
+            }
+        }
+    }
     return out;
 }
 

@@ -3,7 +3,7 @@
 // combination (cf. Verschelde, "Multiword Arithmetic and Parallel Computing")
 // layered over the planar layout.
 //
-// C += A B with A (n x k), B (k x m), C (n x m), all planar row-major.
+// C += A B with A (n x k), B (k x m), C (n x m), all planar row-major views.
 // The iteration space is partitioned into (ti x tj) output tiles with the
 // k dimension blocked by tk; within a tile the update is the ikj-order
 // fused multiply-add sweep c[i, j0:j1] += a[i,kk] * b[kk, j0:j1], executed
@@ -16,9 +16,18 @@
 // tiled result is therefore bit-identical to planar::gemm, threaded or not
 // (tests/simd_kernel_test.cpp asserts this).
 //
+// Degenerate shapes are no-ops: any zero dimension returns immediately, and
+// tile dims larger than the matrix clamp to a single tile (the loop bounds
+// take min() everywhere), so there is no UB to hit
+// (tests/blas_views_test.cpp regression-tests both).
+//
 // Nested parallelism: the omp parallel-for is suppressed when already inside
 // a parallel region (same guard discipline as mf::blas; see kernels.hpp
 // there), so composing this driver with parallel callers cannot oversubscribe.
+//
+// For large problems prefer mf::blas::gemm_packed (blas/engine/), which adds
+// BLIS-style packing and a register-blocked micro-kernel on top of the same
+// determinism contract.
 
 #include <cstddef>
 
@@ -51,22 +60,17 @@ struct TileShape {
     std::size_t tk = 64;
 };
 
-/// C += A B, planar, tiled, OpenMP-parallel over row-tiles.
+/// C += A B, planar views, tiled, OpenMP-parallel over row-tiles.
 template <FloatingPoint T, int N>
-void gemm_tiled(const planar::Vector<T, N>& a, const planar::Vector<T, N>& b,
-                planar::Vector<T, N>& c, std::size_t n, std::size_t k,
-                std::size_t m, TileShape tile = {}) {
+void gemm_tiled(planar::ConstMatrixView<T, N> a, planar::ConstMatrixView<T, N> b,
+                planar::MatrixView<T, N> c, TileShape tile = {}) {
+    const std::size_t n = c.rows;
+    const std::size_t m = c.cols;
+    const std::size_t k = a.cols;
+    if (n == 0 || m == 0 || k == 0) return;  // degenerate: nothing to update
     const std::size_t ti = tile.ti ? tile.ti : 1;
     const std::size_t tj = tile.tj ? tile.tj : 1;
     const std::size_t tk = tile.tk ? tile.tk : 1;
-    const T* ap[N];
-    const T* bp[N];
-    T* cp[N];
-    for (int p = 0; p < N; ++p) {
-        ap[p] = a.plane(p);
-        bp[p] = b.plane(p);
-        cp[p] = c.plane(p);
-    }
     const std::size_t n_itiles = (n + ti - 1) / ti;
     // Backend dispatch hoisted out of the tile loops (one resolve per call,
     // not one per fma sweep).
@@ -87,12 +91,12 @@ void gemm_tiled(const planar::Vector<T, N>& a, const planar::Vector<T, N>& b,
                     const std::size_t k1 = (k0 + tk < k) ? k0 + tk : k;
                     for (std::size_t i = it * ti; i < i1; ++i) {
                         T* crow[N];
-                        for (int p = 0; p < N; ++p) crow[p] = cp[p] + i * m;
+                        for (int p = 0; p < N; ++p) crow[p] = c.row(p, i);
                         for (std::size_t kk = k0; kk < k1; ++kk) {
                             MultiFloat<T, N> aik;
-                            for (int p = 0; p < N; ++p) aik.limb[p] = ap[p][i * k + kk];
+                            for (int p = 0; p < N; ++p) aik.limb[p] = a.row(p, i)[kk];
                             const T* brow[N];
-                            for (int p = 0; p < N; ++p) brow[p] = bp[p] + kk * m;
+                            for (int p = 0; p < N; ++p) brow[p] = b.row(p, kk);
                             kernels::fma_range<T, N, w()>(aik, brow, crow, j0, j1);
                         }
                     }
@@ -100,6 +104,27 @@ void gemm_tiled(const planar::Vector<T, N>& a, const planar::Vector<T, N>& b,
             }
         }
     });
+}
+
+/// All-mutable-view overload: template deduction cannot cross the
+/// MatrixView -> ConstMatrixView conversion, so the common case of freshly
+/// built (mutable) views gets its own forwarder.
+template <FloatingPoint T, int N>
+void gemm_tiled(planar::MatrixView<T, N> a, planar::MatrixView<T, N> b,
+                planar::MatrixView<T, N> c, TileShape tile = {}) {
+    gemm_tiled<T, N>(planar::ConstMatrixView<T, N>(a),
+                     planar::ConstMatrixView<T, N>(b), c, tile);
+}
+
+/// Deprecated pre-view signature: positional sizes over whole planar Vectors.
+template <FloatingPoint T, int N>
+[[deprecated("use gemm_tiled(planar::ConstMatrixView, planar::ConstMatrixView, planar::MatrixView)")]]
+void gemm_tiled(const planar::Vector<T, N>& a, const planar::Vector<T, N>& b,
+                planar::Vector<T, N>& c, std::size_t n, std::size_t k,
+                std::size_t m, TileShape tile = {}) {
+    gemm_tiled<T, N>(planar::ConstMatrixView<T, N>(a, n, k),
+                     planar::ConstMatrixView<T, N>(b, k, m),
+                     planar::MatrixView<T, N>(c, n, m), tile);
 }
 
 }  // namespace mf::simd

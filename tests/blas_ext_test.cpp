@@ -17,6 +17,7 @@ using mf::blas::ger;
 using mf::blas::iamax;
 using mf::blas::nrm2;
 using mf::blas::scal;
+using mf::blas::view;
 using mf::test::adversarial;
 using mf::test::exact;
 
@@ -32,7 +33,7 @@ TEST(BlasExt, ScalMatchesElementwiseMul) {
     auto x = vec<3>(rng, 130);
     const auto ref = x;
     const auto alpha = adversarial<double, 3>(rng, -3, 3);
-    scal<MultiFloat<double, 3>>(alpha, {x.data(), x.size()});
+    scal<MultiFloat<double, 3>>(alpha, view(x));
     for (std::size_t i = 0; i < x.size(); ++i) {
         const auto want = mul(ref[i], alpha);
         for (int k = 0; k < 3; ++k) EXPECT_EQ(x[i].limb[k], want.limb[k]);
@@ -45,7 +46,7 @@ TEST(BlasExt, AsumMatchesOracle) {
         const auto x = vec<2>(rng, n);
         BigFloat want;
         for (const auto& v : x) want = want + exact(v).abs();
-        const auto got = asum<MultiFloat<double, 2>>({x.data(), n});
+        const auto got = asum<MultiFloat<double, 2>>(view(x));
         MF_EXPECT_REL_BOUND(got, want, 2 * 53 - 2 - 12);
         EXPECT_GE(got.limb[0], 0.0);
     }
@@ -59,7 +60,7 @@ TEST(BlasExt, Nrm2MatchesOracle) {
         for (const auto& v : x) sq = sq + exact(v) * exact(v);
         if (sq.is_zero()) continue;
         const BigFloat want = BigFloat::sqrt(sq, 4 * 53 + 20);
-        const auto got = nrm2<MultiFloat<double, 4>>({x.data(), n});
+        const auto got = nrm2<MultiFloat<double, 4>>(view(x));
         MF_EXPECT_REL_BOUND(got, want, 4 * 53 - 4 - 16);
     }
 }
@@ -71,11 +72,11 @@ TEST(BlasExt, IamaxFindsMaximum) {
         // Plant a clear winner.
         const auto where = static_cast<std::size_t>(rng() % 64);
         x[where] = ldexp(MultiFloat<double, 2>(rng() % 2 ? 1.5 : -1.5), 40);
-        const std::size_t got = iamax<MultiFloat<double, 2>>({x.data(), x.size()});
+        const std::size_t got = iamax<MultiFloat<double, 2>>(view(x));
         EXPECT_EQ(got, where);
     }
     std::vector<double> d{1.0, -7.0, 3.0};
-    EXPECT_EQ(iamax<double>({d.data(), d.size()}), 1u);
+    EXPECT_EQ(iamax<double>(view(d)), 1u);
 }
 
 TEST(BlasExt, GerMatchesOracle) {
@@ -87,7 +88,7 @@ TEST(BlasExt, GerMatchesOracle) {
     auto a = vec<2>(rng, n * m);
     const auto ref = a;
     const auto alpha = adversarial<double, 2>(rng, -2, 2);
-    ger<MultiFloat<double, 2>>(alpha, {x.data(), n}, {y.data(), m}, {a.data(), n * m});
+    ger<MultiFloat<double, 2>>(alpha, view(x), view(y), view(a, n, m));
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j < m; ++j) {
             const BigFloat want =
@@ -101,9 +102,9 @@ TEST(BlasExt, GerMatchesOracle) {
 
 TEST(BlasExt, WorksOnPlainDouble) {
     std::vector<double> x{3.0, -4.0};
-    EXPECT_EQ(nrm2<double>({x.data(), 2u}), 5.0);
-    EXPECT_EQ(asum<double>({x.data(), 2u}), 7.0);
-    scal<double>(2.0, {x.data(), 2u});
+    EXPECT_EQ(nrm2<double>(view(x)), 5.0);
+    EXPECT_EQ(asum<double>(view(x)), 7.0);
+    scal<double>(2.0, view(x));
     EXPECT_EQ(x[0], 6.0);
     EXPECT_EQ(x[1], -8.0);
 }

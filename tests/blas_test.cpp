@@ -75,7 +75,7 @@ TYPED_TEST(BlasTyped, AxpyMatchesOracle) {
         auto y = random_vec<TypeParam>(rng, n);
         std::vector<BigFloat> want(n);
         for (std::size_t i = 0; i < n; ++i) want[i] = val(y[i]) + bf(1.25) * val(x[i]);
-        axpy<TypeParam>(alpha, {x.data(), n}, {y.data(), n});
+        axpy<TypeParam>(alpha, view(x), view(y));
         for (std::size_t i = 0; i < n; ++i) {
             EXPECT_LE(rel_log2(val(y[i]), want[i]), kTol) << "n=" << n << " i=" << i;
         }
@@ -89,7 +89,7 @@ TYPED_TEST(BlasTyped, DotMatchesOracle) {
         const auto y = random_vec<TypeParam>(rng, n);
         BigFloat want;
         for (std::size_t i = 0; i < n; ++i) want = want + val(x[i]) * val(y[i]);
-        const TypeParam got = dot<TypeParam>({x.data(), n}, {y.data(), n});
+        const TypeParam got = dot<TypeParam>(view(x), view(y));
         if (!want.is_zero()) {
             EXPECT_LE(rel_log2(val(got), want), kTol) << "n=" << n;
         }
@@ -103,7 +103,7 @@ TYPED_TEST(BlasTyped, GemvMatchesOracle) {
     const auto a = random_vec<TypeParam>(rng, n * m);
     const auto x = random_vec<TypeParam>(rng, m);
     std::vector<TypeParam> y(n, TypeParam(0.0));
-    gemv<TypeParam>({a.data(), n * m}, n, m, {x.data(), m}, {y.data(), n});
+    gemv<TypeParam>(view(a, n, m), view(x), view(y));
     for (std::size_t i = 0; i < n; ++i) {
         BigFloat want;
         for (std::size_t j = 0; j < m; ++j) want = want + val(a[i * m + j]) * val(x[j]);
@@ -121,7 +121,7 @@ TYPED_TEST(BlasTyped, GemmMatchesOracle) {
     const auto a = random_vec<TypeParam>(rng, n * k);
     const auto b = random_vec<TypeParam>(rng, k * m);
     std::vector<TypeParam> c(n * m, TypeParam(0.0));
-    gemm<TypeParam>({a.data(), n * k}, {b.data(), k * m}, {c.data(), n * m}, n, k, m);
+    gemm<TypeParam>(view(a, n, k), view(b, k, m), view(c, n, m));
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j < m; ++j) {
             BigFloat want;
@@ -144,12 +144,12 @@ TEST(BlasPrecision, ExtendedPrecisionDotBeatsDouble) {
     // exact: 2^80 - 2^80 + 1 + 3 = 4.
     std::vector<double> xd(xs, xs + n);
     std::vector<double> yd(ys, ys + n);
-    const double got_double = dot<double>({xd.data(), n}, {yd.data(), n});
+    const double got_double = dot<double>(view(xd), view(yd));
     EXPECT_EQ(got_double, 4.0);  // benign order: the huge pair cancels first
     // Hostile ordering for double:
     const double xs2[n] = {0x1p80, 1.0, 3.0, -0x1p80};
     std::vector<double> xd2(xs2, xs2 + n);
-    const double got_double2 = dot<double>({xd2.data(), n}, {yd.data(), n});
+    const double got_double2 = dot<double>(view(xd2), view(yd));
     EXPECT_NE(got_double2, 4.0);  // 1 and 3 are absorbed, then cancelled
     std::vector<mf::Float64x2> x2;
     std::vector<mf::Float64x2> y2;
@@ -157,16 +157,16 @@ TEST(BlasPrecision, ExtendedPrecisionDotBeatsDouble) {
         x2.emplace_back(xs2[i]);
         y2.emplace_back(ys[i]);
     }
-    const auto got_mf = dot<mf::Float64x2>({x2.data(), n}, {y2.data(), n});
+    const auto got_mf = dot<mf::Float64x2>(view(x2), view(y2));
     EXPECT_EQ(static_cast<double>(got_mf), 4.0);
 }
 
 TEST(BlasEdge, EmptyAndSingleton) {
     std::vector<double> empty;
-    EXPECT_EQ(dot<double>({empty.data(), 0u}, {empty.data(), 0u}), 0.0);
+    EXPECT_EQ(dot<double>(view(empty), view(empty)), 0.0);
     std::vector<mf::Float64x3> x{mf::Float64x3(2.0)};
     std::vector<mf::Float64x3> y{mf::Float64x3(3.0)};
-    EXPECT_EQ(static_cast<double>(dot<mf::Float64x3>({x.data(), 1u}, {y.data(), 1u})), 6.0);
+    EXPECT_EQ(static_cast<double>(dot<mf::Float64x3>(view(x), view(y))), 6.0);
 }
 
 }  // namespace

@@ -1,9 +1,12 @@
-// Thread-count invariance of the tiled GEMM (satellite of the mf::check
-// conformance layer): gemm_tiled must be bit-identical to the sequential
-// planar GEMM no matter how many OpenMP threads execute it -- the tiling
-// partitions output tiles, never a dot product, so no reduction is ever
-// reassociated -- and must serialize itself when called from inside an
-// enclosing parallel region instead of oversubscribing.
+// Thread-count invariance of the tiled and packed GEMMs (satellite of the
+// mf::check conformance layer): gemm_tiled and gemm_packed must be
+// bit-identical to the sequential planar GEMM no matter how many threads
+// execute them -- both partition whole output blocks, never a dot product,
+// so no reduction is ever reassociated -- and must serialize themselves when
+// called from inside an enclosing parallel region instead of
+// oversubscribing. gemm_packed is additionally swept across every available
+// SIMD backend and both threading substrates (OpenMP and the std::thread
+// fallback pool).
 
 #include <gtest/gtest.h>
 
@@ -46,6 +49,61 @@ TEST(GemmThreads, BitIdenticalAcrossThreadCountsFloat3) {
 TEST(GemmThreads, RaggedTilesOversubscribed) {
     expect_all_clean(diff_gemm_threads<double, 3>(24, 5, 3, 7, {16}));
     expect_all_clean(diff_gemm_threads<double, 2>(25, 1, 1, 1, {7}));
+}
+
+// --- packed engine -------------------------------------------------------
+// diff_gemm_packed sweeps backends x thread counts x {OpenMP, pool}; every
+// record must be clean (0 mismatches against sequential planar::gemm).
+
+void expect_packed_clean(const std::vector<DiffRecord>& diffs) {
+    ASSERT_FALSE(diffs.empty());
+    for (const DiffRecord& d : diffs) {
+        EXPECT_EQ(d.mismatches, 0u)
+            << d.kernel << " " << d.type << " N=" << d.limbs << " [" << d.backend << "]";
+    }
+}
+
+// Prime dims (none divides MR, NR, or any cache block) with auto blocks.
+TEST(GemmPacked, BitIdenticalAcrossBackendsAndThreadsDouble2) {
+    expect_packed_clean(diff_gemm_packed<double, 2>(31, 23, 17, 19, {1, 2, 8}));
+}
+
+TEST(GemmPacked, BitIdenticalAcrossBackendsAndThreadsDouble3) {
+    expect_packed_clean(diff_gemm_packed<double, 3>(32, 13, 11, 9, {1, 2, 8}));
+}
+
+TEST(GemmPacked, BitIdenticalAcrossBackendsAndThreadsDouble4) {
+    expect_packed_clean(diff_gemm_packed<double, 4>(33, 11, 7, 9, {1, 2, 8}));
+}
+
+TEST(GemmPacked, BitIdenticalAcrossBackendsAndThreadsFloat2) {
+    expect_packed_clean(diff_gemm_packed<float, 2>(34, 15, 9, 14, {1, 2, 8}));
+}
+
+// Tiny pinned cache blocks: every macro-panel ends in mr/nr remainder
+// micro-tiles and the k loop spans several kc blocks, so the packed-edge
+// and partial-tile paths dominate.
+TEST(GemmPacked, TinyBlocksForceEdgeTiles) {
+    expect_packed_clean(diff_gemm_packed<double, 2>(35, 61, 67, 71, {1, 8},
+                                                    mf::check::GenConfig{},
+                                                    mf::blas::BlockShape{8, 8, 16}));
+    expect_packed_clean(diff_gemm_packed<double, 3>(36, 29, 31, 37, {2},
+                                                    mf::check::GenConfig{},
+                                                    mf::blas::BlockShape{8, 8, 16}));
+}
+
+// Degenerate shapes must be exact no-ops (C untouched).
+TEST(GemmPacked, DegenerateShapesAreNoOps) {
+    using V = mf::MultiFloat<double, 2>;
+    planar::Vector<double, 2> a, b, c(6);
+    for (std::size_t i = 0; i < 6; ++i) c.set(i, V(double(i) + 0.5));
+    blas::gemm_packed(planar::matrix_view(a, 0, 0), planar::matrix_view(b, 0, 3),
+                      planar::matrix_view(c, 0, 3));
+    blas::gemm_packed(planar::matrix_view(a, 2, 0), planar::matrix_view(b, 0, 3),
+                      planar::matrix_view(c, 2, 3));
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(c.get(i).limb[0], double(i) + 0.5);
+    }
 }
 
 }  // namespace

@@ -146,8 +146,8 @@ TYPED_TEST(PlanarTyped, GemmBitExactVsScalarKernel) {
         b.set(i, ba[i]);
     }
     planar::gemm(a, b, c, n, k, m);
-    blas::gemm<TypeParam>({aa.data(), n * k}, {ba.data(), k * m}, {ca.data(), n * m},
-                          n, k, m);
+    blas::gemm<TypeParam>(blas::view(aa, n, k), blas::view(ba, k, m),
+                          blas::view(ca, n, m));
     // Same ikj order, same fused update: bit-identical.
     for (std::size_t i = 0; i < n * m; ++i) {
         const TypeParam got = c.get(i);

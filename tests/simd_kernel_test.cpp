@@ -259,7 +259,8 @@ TYPED_TEST(SimdKernelTyped, TiledGemmBitIdenticalToPlanarGemm) {
          {simd::TileShape{4, 5, 3}, simd::TileShape{1, 1, 1},
           simd::TileShape{64, 512, 64}, simd::TileShape{13, 17, 11}}) {
         planar::Vector<T, N> c(n * m);
-        simd::gemm_tiled(a, b, c, n, k, m, tile);
+        simd::gemm_tiled(planar::matrix_view(a, n, k), planar::matrix_view(b, k, m),
+                         planar::matrix_view(c, n, m), tile);
         for (std::size_t i = 0; i < n * m; ++i) {
             const TypeParam got = c.get(i);
             const TypeParam ref = want.get(i);
@@ -284,14 +285,14 @@ TYPED_TEST(SimdKernelTyped, BlasKernelsUseBitExactPackPath) {
         y[i] = y0[i] = adversarial<T, N>(rng, -4, 4);
     }
     const TypeParam alpha = adversarial<T, N>(rng, -2, 2);
-    blas::axpy<TypeParam>(alpha, {x.data(), n}, {y.data(), n});
+    blas::axpy<TypeParam>(alpha, blas::view(x), blas::view(y));
     for (std::size_t i = 0; i < n; ++i) {
         const TypeParam want = add(mul(alpha, x[i]), y0[i]);
         for (int k = 0; k < N; ++k) {
             ASSERT_EQ(bits(y[i].limb[k]), bits(want.limb[k])) << i;
         }
     }
-    const TypeParam d = blas::dot<TypeParam>({x.data(), n}, {y.data(), n});
+    const TypeParam d = blas::dot<TypeParam>(blas::view(x), blas::view(y));
     BigFloat want_d;
     for (std::size_t i = 0; i < n; ++i) want_d = want_d + exact(x[i]) * exact(y[i]);
     if (!want_d.is_zero()) {
@@ -302,8 +303,8 @@ TYPED_TEST(SimdKernelTyped, BlasKernelsUseBitExactPackPath) {
     std::vector<TypeParam> ga(gn * gk), gb(gk * gm), gc(gn * gm), gref(gn * gm);
     for (auto& v : ga) v = adversarial<T, N>(rng, -4, 4);
     for (auto& v : gb) v = adversarial<T, N>(rng, -4, 4);
-    blas::gemm<TypeParam>({ga.data(), gn * gk}, {gb.data(), gk * gm},
-                          {gc.data(), gn * gm}, gn, gk, gm);
+    blas::gemm<TypeParam>(blas::view(ga, gn, gk), blas::view(gb, gk, gm),
+                          blas::view(gc, gn, gm));
     for (std::size_t i = 0; i < gn; ++i) {
         for (std::size_t j = 0; j < gm; ++j) gref[i * gm + j] = TypeParam{};
         for (std::size_t kk = 0; kk < gk; ++kk) {

@@ -67,7 +67,9 @@ TEST(TelemetryOff, InstrumentedArithmeticRegistersNothing) {
         a.set(i, MF4(1.0 + double(i)));
         b.set(i, MF4(2.0));
     }
-    mf::simd::gemm_tiled(a, b, c, n, n, n);
+    mf::simd::gemm_tiled(mf::planar::matrix_view(a, n, n),
+                         mf::planar::matrix_view(b, n, n),
+                         mf::planar::matrix_view(c, n, n));
 
     Registry::instance().set_trace_enabled(false);
     const Snapshot snap = Registry::instance().snapshot();

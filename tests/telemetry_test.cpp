@@ -199,7 +199,9 @@ TEST(TelemetryWiring, GemmPopulatesDispatchRenormAndTileCounters) {
         a.set(i, mf::MultiFloat<double, 4>(1.0 + double(i) * 0x1p-20));
         b.set(i, mf::MultiFloat<double, 4>(2.0 - double(i) * 0x1p-21));
     }
-    mf::simd::gemm_tiled(a, b, c, n, n, n);
+    mf::simd::gemm_tiled(mf::planar::matrix_view(a, n, n),
+                         mf::planar::matrix_view(b, n, n),
+                         mf::planar::matrix_view(c, n, n));
     reg().set_trace_enabled(false);
 
     const Snapshot snap = reg().snapshot();

@@ -311,6 +311,11 @@ int main(int argc, char** argv) {
                 report.diffs.insert(report.diffs.end(), d.begin(), d.end());
                 auto g = diff_gemm_threads<double, 2>(opt.seed, 17, 9, 13, threads, cfg);
                 report.diffs.insert(report.diffs.end(), g.begin(), g.end());
+                // Packed engine: prime shapes + tiny blocks force edge
+                // micro-tiles in every dimension.
+                auto p = diff_gemm_packed<double, 2>(opt.seed, 17, 9, 13, threads,
+                                                     cfg, mf::blas::BlockShape{8, 8, 16});
+                report.diffs.insert(report.diffs.end(), p.begin(), p.end());
             }
             if (want(opt.limbs, "3")) {
                 auto d = diff_backends<double, 3>(opt.seed, 192, rounds, cfg, opt.backend);
@@ -321,6 +326,9 @@ int main(int argc, char** argv) {
                 report.diffs.insert(report.diffs.end(), d.begin(), d.end());
                 auto g = diff_gemm_threads<double, 4>(opt.seed, 11, 7, 9, threads, cfg);
                 report.diffs.insert(report.diffs.end(), g.begin(), g.end());
+                auto p = diff_gemm_packed<double, 4>(opt.seed, 11, 7, 9, threads,
+                                                     cfg, mf::blas::BlockShape{8, 8, 16});
+                report.diffs.insert(report.diffs.end(), p.begin(), p.end());
             }
         }
         if (want(opt.type, "float")) {

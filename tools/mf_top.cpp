@@ -135,7 +135,8 @@ int main(int argc, char** argv) {
         b.set(i, MultiFloat<double, 4>(next()));
     }
     for (int r = 0; r < reps; ++r) {
-        simd::gemm_tiled(a, b, c, n, n, n);
+        simd::gemm_tiled(planar::matrix_view(a, n, n), planar::matrix_view(b, n, n),
+                         planar::matrix_view(c, n, n));
     }
     // Fold the result into a checksum so the whole computation is observable
     // (and undead-code-eliminable).
