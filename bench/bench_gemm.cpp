@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "blas/blas.hpp"
+#include "guard/guard.hpp"
 #include "harness.hpp"
 #include "simd/simd.hpp"
 
@@ -113,6 +114,10 @@ void run_cube(bench::JsonReport& out, const char* type_name, std::size_t dim,
 }  // namespace
 
 int main(int argc, char** argv) {
+    // A perturbed FP environment would invalidate every number this harness
+    // records (and the bit-identity claim above); the sentinel makes the run
+    // fail loudly (or self-correct, under enforce) instead.
+    MF_GUARD_SENTINEL("bench.bench_gemm");
     bool quick = false;
     std::string path = "BENCH_gemm.json";
     for (int i = 1; i < argc; ++i) {

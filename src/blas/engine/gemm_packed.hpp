@@ -29,7 +29,10 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <memory>
+#include <new>
 
+#include "../../guard/guard.hpp"
 #include "../../simd/dispatch.hpp"
 #include "../../telemetry/events.hpp"
 #include "../planar.hpp"
@@ -85,11 +88,52 @@ template <std::floating_point T, int N>
     return bs;
 }
 
+namespace detail {
+
+/// Sequential unpacked fallback: planar::gemm's exact ikj order re-expressed
+/// over (possibly strided) views. Bit-identical to gemm_packed for every
+/// pack width, because each C element sees its k updates kk-ascending and
+/// every update is the same lane-independent fma_range FPAN sequence --
+/// which is why gemm_packed may switch to this path when panel scratch
+/// cannot be allocated without changing a single result bit.
+template <FloatingPoint T, int N>
+void gemm_planar_views(planar::ConstMatrixView<T, N> a,
+                       planar::ConstMatrixView<T, N> b,
+                       planar::MatrixView<T, N> c) {
+    const std::size_t n = c.rows;
+    const std::size_t m = c.cols;
+    const std::size_t k = a.cols;
+    simd::with_active_width<T>([&](auto w) {
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                const MultiFloat<T, N> aik = a.get(i, kk);
+                const T* brow[N];
+                T* crow[N];
+                for (int p = 0; p < N; ++p) {
+                    brow[p] = b.row(p, kk);
+                    crow[p] = c.row(p, i);
+                }
+                simd::kernels::fma_range<T, N, w()>(aik, brow, crow, 0, m);
+            }
+        }
+    });
+}
+
+}  // namespace detail
 }  // namespace engine
 
 /// C += A B through packed panels and the register-blocked micro-kernel.
 /// Bit-identical to planar::gemm (see file header); degenerate shapes
 /// (any zero dimension) are no-ops.
+///
+/// Robustness (DESIGN.md §12): the entry point carries an FP-environment
+/// sentinel (MF_GUARD_POLICY decides detect/enforce behavior); ALL panel
+/// scratch -- the shared B panel plus one A block per worker slot -- is
+/// reserved before any C element is written, and reservation failure
+/// degrades to the sequential unpacked path above (bit-identical, counted
+/// as mf_guard_degraded_total{path="alloc"}). After the up-front reserve,
+/// the in-loop ensure() calls are guaranteed allocation-free: every block
+/// extent is bounded by the reserved worst case.
 template <FloatingPoint T, int N>
 void gemm_packed(planar::ConstMatrixView<T, N> a, planar::ConstMatrixView<T, N> b,
                  planar::MatrixView<T, N> c, const GemmConfig& cfg = {}) {
@@ -97,13 +141,35 @@ void gemm_packed(planar::ConstMatrixView<T, N> a, planar::ConstMatrixView<T, N> 
     const std::size_t m = c.cols;
     const std::size_t k = a.cols;
     if (n == 0 || m == 0 || k == 0) return;
+    MF_GUARD_SENTINEL("blas.gemm_packed");
     // One backend resolve per call, like gemm_tiled; everything below runs
     // width-templated.
     simd::with_active_width<T>([&](auto w) {
         constexpr int W = w();
         using MK = engine::MicroKernel<T, N, W>;
         const BlockShape bs = engine::auto_blocks<T, N>(MK::MR, MK::NR, cfg.blocks);
+        const std::size_t nblocks = (n + bs.mc - 1) / bs.mc;
+        const unsigned nslots =
+            engine::planned_workers(nblocks, cfg.threads, cfg.max_threads);
         engine::AlignedBuffer<T> bbuf;
+        std::unique_ptr<engine::AlignedBuffer<T>[]> abufs;
+        try {
+            // Reserve the worst-case panel footprint up front: the shared B
+            // panel and one A block per worker slot. C is untouched until
+            // this succeeds, so a bad_alloc here (real or injected) can
+            // still choose a different execution strategy.
+            abufs.reset(new engine::AlignedBuffer<T>[nslots]);
+            bbuf.ensure(static_cast<std::size_t>(N) * std::min(bs.kc, k) *
+                        std::min(bs.nc, m));
+            for (unsigned s = 0; s < nslots; ++s) {
+                abufs[s].ensure(static_cast<std::size_t>(N) *
+                                std::min(bs.mc, n) * std::min(bs.kc, k));
+            }
+        } catch (const std::bad_alloc&) {
+            MF_TELEM_COUNT_N("mf_guard_degraded_total{path=\"alloc\"}", 1);
+            engine::detail::gemm_planar_views<T, N>(a, b, c);
+            return;
+        }
         const T* bpk[N];
         for (std::size_t jc = 0; jc < m; jc += bs.nc) {
             const std::size_t ncb = std::min(bs.nc, m - jc);
@@ -111,15 +177,18 @@ void gemm_packed(planar::ConstMatrixView<T, N> a, planar::ConstMatrixView<T, N> 
                 const std::size_t kcb = std::min(bs.kc, k - pc);
                 // Packed once, read-only for every worker of the ic loop.
                 engine::pack_b<T, N>(b, pc, jc, kcb, ncb, bbuf, bpk);
-                const std::size_t nblocks = (n + bs.mc - 1) / bs.mc;
-                engine::parallel_blocks(
+                // Fault-injection checkpoint: a mid-call environment flip
+                // lands here; the sentinel's exit probe must notice it.
+                guard::inject::maybe_perturb_env();
+                engine::parallel_blocks_slots(
                     nblocks,
-                    [&](std::size_t ib) {
+                    [&](std::size_t ib, unsigned slot) {
                         MF_TELEM_SPAN_TIMED("gemm_macro_panel",
                                             "mf_gemm_macro_panel_ns");
                         const std::size_t ic = ib * bs.mc;
                         const std::size_t mcb = std::min(bs.mc, n - ic);
-                        engine::AlignedBuffer<T> abuf;  // per-worker scratch
+                        // Pre-reserved per-slot scratch: allocation-free.
+                        engine::AlignedBuffer<T>& abuf = abufs[slot];
                         const T* apk[N];
                         engine::pack_a<T, N>(a, ic, pc, mcb, kcb, abuf, apk);
                         for (std::size_t jr = 0; jr < ncb; jr += MK::NR) {

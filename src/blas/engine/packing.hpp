@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <new>
 
+#include "../../guard/inject.hpp"
 #include "../../telemetry/events.hpp"
 #include "../planar.hpp"
 
@@ -41,9 +42,13 @@ public:
     static constexpr std::size_t alignment = 64;
 
     /// Ensure capacity for n elements; returns the (aligned) base pointer.
+    /// Throws std::bad_alloc on exhaustion (real or injected) -- callers that
+    /// must not fail mid-computation pre-reserve their worst case up front
+    /// (gemm_packed does), after which in-loop ensure() calls never allocate.
     T* ensure(std::size_t n) {
         if (n > cap_) {
             release();
+            if (guard::inject::should_fail_alloc()) throw std::bad_alloc{};
             p_ = static_cast<T*>(
                 ::operator new(n * sizeof(T), std::align_val_t{alignment}));
             cap_ = n;

@@ -27,12 +27,18 @@
 // oversubscribing with nested teams. (In this reproduction environment only
 // one core is available, so OpenMP paths are compiled and correct but add
 // no speedup; see EXPERIMENTS.md.)
+//
+// Robustness (DESIGN.md §12): every view entry point carries an
+// MF_GUARD_SENTINEL (FP-environment probe, MF_GUARD_POLICY-driven) and
+// MF_BLAS_REQUIRE shape/stride validation (compiled in under the
+// MF_BOUNDS_CHECK CMake option only).
 
 #include <cmath>
 #include <cstddef>
 #include <cstdlib>
 #include <span>
 
+#include "../guard/policy.hpp"
 #include "../mf/multifloat.hpp"
 #include "../simd/dispatch.hpp"
 #include "views.hpp"
@@ -66,6 +72,8 @@ inline constexpr bool is_multifloat_v<MultiFloat<T, N>> = std::floating_point<T>
 /// y <- alpha * x + y
 template <typename V>
 void axpy(const V& alpha, ConstVectorView<V> x, VectorView<V> y) {
+    MF_GUARD_SENTINEL("blas.axpy");
+    MF_BLAS_REQUIRE(x.size == y.size, "blas.axpy", "x.size == y.size");
     const std::size_t n = x.size;
     if constexpr (detail::is_multifloat_v<V>) {
         using T = typename V::value_type;
@@ -97,6 +105,8 @@ void axpy(const V& alpha, ConstVectorView<V> x, VectorView<V> y) {
 /// interleaved.
 template <typename V>
 [[nodiscard]] V dot(ConstVectorView<V> x, ConstVectorView<V> y) {
+    MF_GUARD_SENTINEL("blas.dot");
+    MF_BLAS_REQUIRE(x.size == y.size, "blas.dot", "x.size == y.size");
     const std::size_t n = x.size;
     if constexpr (detail::is_multifloat_v<V>) {
         using T = typename V::value_type;
@@ -146,6 +156,10 @@ template <typename V>
 /// through the pack dot kernel, other types use a 4-way unrolled inner dot)
 template <typename V>
 void gemv(ConstMatrixView<V> a, ConstVectorView<V> x, VectorView<V> y) {
+    MF_GUARD_SENTINEL("blas.gemv");
+    MF_BLAS_REQUIRE(a.cols == x.size, "blas.gemv", "a.cols == x.size");
+    MF_BLAS_REQUIRE(a.rows == y.size, "blas.gemv", "a.rows == y.size");
+    MF_BLAS_REQUIRE(a.stride >= a.cols, "blas.gemv", "a.stride >= a.cols");
     const std::size_t n = a.rows;
     const std::size_t m = a.cols;
     if constexpr (detail::is_multifloat_v<V>) {
@@ -179,6 +193,7 @@ void gemv(ConstMatrixView<V> a, ConstVectorView<V> x, VectorView<V> y) {
 /// x <- alpha * x
 template <typename V>
 void scal(const V& alpha, VectorView<V> x) {
+    MF_GUARD_SENTINEL("blas.scal");
     const std::size_t n = x.size;
 #pragma omp parallel for schedule(static) if (n > 4096 && !detail::in_parallel())
     for (std::size_t i = 0; i < n; ++i) {
@@ -189,6 +204,7 @@ void scal(const V& alpha, VectorView<V> x) {
 /// sum_i |x_i|  (abs is found by ADL for expansions, std::abs for scalars)
 template <typename V>
 [[nodiscard]] V asum(ConstVectorView<V> x) {
+    MF_GUARD_SENTINEL("blas.asum");
     using std::abs;
     V acc{};
     for (std::size_t i = 0; i < x.size; ++i) acc += abs(x[i]);
@@ -205,6 +221,7 @@ template <typename V>
 /// Index of the element with the largest magnitude (0 for empty input).
 template <typename V>
 [[nodiscard]] std::size_t iamax(ConstVectorView<V> x) {
+    MF_GUARD_SENTINEL("blas.iamax");
     using std::abs;
     std::size_t best = 0;
     for (std::size_t i = 1; i < x.size; ++i) {
@@ -217,6 +234,10 @@ template <typename V>
 template <typename V>
 void ger(const V& alpha, ConstVectorView<V> x, ConstVectorView<V> y,
          MatrixView<V> a) {
+    MF_GUARD_SENTINEL("blas.ger");
+    MF_BLAS_REQUIRE(a.rows == x.size, "blas.ger", "a.rows == x.size");
+    MF_BLAS_REQUIRE(a.cols == y.size, "blas.ger", "a.cols == y.size");
+    MF_BLAS_REQUIRE(a.stride >= a.cols, "blas.ger", "a.stride >= a.cols");
     const std::size_t n = x.size;
     const std::size_t m = y.size;
 #pragma omp parallel for schedule(static) if (n > 64 && !detail::in_parallel())
@@ -238,6 +259,13 @@ void ger(const V& alpha, ConstVectorView<V> x, ConstVectorView<V> y,
 /// C <- A B  (row-major; C is n x m, A is n x k, B is k x m; ikj loop order)
 template <typename V>
 void gemm(ConstMatrixView<V> a, ConstMatrixView<V> b, MatrixView<V> c) {
+    MF_GUARD_SENTINEL("blas.gemm");
+    MF_BLAS_REQUIRE(a.rows == c.rows, "blas.gemm", "a.rows == c.rows");
+    MF_BLAS_REQUIRE(a.cols == b.rows, "blas.gemm", "a.cols == b.rows");
+    MF_BLAS_REQUIRE(b.cols == c.cols, "blas.gemm", "b.cols == c.cols");
+    MF_BLAS_REQUIRE(a.stride >= a.cols, "blas.gemm", "a.stride >= a.cols");
+    MF_BLAS_REQUIRE(b.stride >= b.cols, "blas.gemm", "b.stride >= b.cols");
+    MF_BLAS_REQUIRE(c.stride >= c.cols, "blas.gemm", "c.stride >= c.cols");
     const std::size_t n = c.rows;
     const std::size_t m = c.cols;
     const std::size_t k = a.cols;

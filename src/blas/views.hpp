@@ -24,7 +24,36 @@
 #include <cstddef>
 #include <vector>
 
+#if defined(MF_BOUNDS_CHECK) && MF_BOUNDS_CHECK
+#include <cstdio>
+#include <cstdlib>
+#endif
+
 namespace mf::blas {
+
+#if defined(MF_BOUNDS_CHECK) && MF_BOUNDS_CHECK
+
+namespace detail {
+/// Debug-build shape/stride violation: print which entry point rejected
+/// which invariant, then abort (death-testable, sanitizer-friendly).
+[[noreturn]] inline void bounds_fail(const char* site, const char* what) noexcept {
+    std::fprintf(stderr, "mf::blas bounds check failed: %s: %s\n", site, what);
+    std::abort();
+}
+}  // namespace detail
+
+/// Shape/stride validation at blas:: entry points. Compiled in only under
+/// the MF_BOUNDS_CHECK CMake option (a debugging configuration): the checks
+/// sit outside the kernels' hot loops, but release builds keep the historic
+/// zero-validation contract.
+#define MF_BLAS_REQUIRE(cond, site, what) \
+    ((cond) ? (void)0 : ::mf::blas::detail::bounds_fail(site, what))
+
+#else
+
+#define MF_BLAS_REQUIRE(cond, site, what) ((void)0)
+
+#endif  // MF_BOUNDS_CHECK
 
 /// Mutable contiguous vector view.
 template <typename V>

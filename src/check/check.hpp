@@ -16,6 +16,7 @@
 //   shrink.hpp       counterexample minimization
 //   corpus.hpp       replayable seed-corpus IO (tests/corpus/)
 //   report.hpp       CHECK_*.json error-bound telemetry
+//   robustness.hpp   mf::guard fault-injection matrix (env/alloc/thread)
 //
 // Driven by tools/mf_fuzz (CLI) and tests/conformance_test.cpp (ctest smoke
 // tier, label `fuzz-smoke`; scale it up with MF_FUZZ_ITERS).
@@ -26,4 +27,5 @@
 #include "generators.hpp"
 #include "oracle.hpp"
 #include "report.hpp"
+#include "robustness.hpp"
 #include "shrink.hpp"

@@ -34,19 +34,22 @@ bool ConformanceReport::write(const std::string& path) const {
         std::fprintf(stderr, "ConformanceReport: cannot write %s\n", path.c_str());
         return false;
     }
-    // Provenance stamp shared with bench's JsonReport: the same four fields
-    // from the same build_info(), so trajectory tooling can join BENCH and
-    // CHECK documents on identical keys.
+    // Provenance stamp shared with bench's JsonReport: the same fields from
+    // the same build_info(), so trajectory tooling can join BENCH and CHECK
+    // documents on identical keys. fp_env records the PROBED rounding/flush
+    // state of the writing thread -- "rn" certifies the run's environment
+    // contract held; anything else flags the whole document as suspect.
     const telemetry::BuildInfo info = telemetry::build_info();
     std::fprintf(f,
                  "{\n  \"check\": \"conformance\",\n  \"seed\": %" PRIu64
                  ",\n  \"iters_per_run\": %" PRIu64 ",\n  \"backend\": \"%s\",\n"
                  "  \"git_sha\": \"%s\",\n  \"compiler\": \"%s\",\n"
-                 "  \"threads\": %d,\n"
+                 "  \"threads\": %d,\n  \"fp_env\": \"%s\",\n"
                  "  \"clean\": %s,\n  \"runs\": [",
                  seed, iters_per_run, json_clean(backend).c_str(),
                  json_clean(info.git_sha).c_str(), json_clean(info.compiler).c_str(),
-                 info.threads, clean() ? "true" : "false");
+                 info.threads, json_clean(info.fp_env).c_str(),
+                 clean() ? "true" : "false");
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const RunStats& r = runs[i];
         std::fprintf(f,

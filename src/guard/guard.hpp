@@ -1,0 +1,14 @@
+#pragma once
+// Umbrella for mf::guard -- FP-environment sentinels, guard policy, and
+// fault injection (DESIGN.md §12).
+//
+//   #include "guard/guard.hpp"
+//
+//   guard::FpEnvSnapshot s = guard::fp_env_snapshot();  // probe this thread
+//   guard::ScopedFpEnv clean;           // enforce RN/no-FTZ for a scope
+//   MF_GUARD_SENTINEL("my.entry");      // policy-driven entry/exit sentinel
+//   guard::inject::arm_alloc(0);        // fault injection (tests only)
+
+#include "fp_env.hpp"
+#include "inject.hpp"
+#include "policy.hpp"

@@ -7,6 +7,7 @@
 #include <string>
 #include <thread>
 
+#include "../guard/fp_env.hpp"
 #include "../simd/backend.hpp"
 
 #if defined(_OPENMP)
@@ -26,6 +27,8 @@ struct BuildInfo {
     std::string compiler;
     int threads = 1;      ///< worker threads a parallel region would use
     std::string backend;  ///< SIMD backend active at query time
+    std::string fp_env;   ///< probed FP environment, e.g. "rn" or "rz+ftz"
+                          ///< (guard::fp_env_string -- nominal is "rn")
 };
 
 [[nodiscard]] inline BuildInfo build_info() {
@@ -45,6 +48,7 @@ struct BuildInfo {
     if (b.threads < 1) b.threads = 1;
 #endif
     b.backend = simd::backend_name(simd::active_backend());
+    b.fp_env = guard::fp_env_string();
     return b;
 }
 

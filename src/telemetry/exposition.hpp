@@ -75,7 +75,8 @@ namespace detail {
     out += "mf_build_info{git_sha=\"" + detail::expo_clean(info.git_sha) +
            "\",compiler=\"" + detail::expo_clean(info.compiler) + "\",threads=\"" +
            std::to_string(info.threads) + "\",backend=\"" +
-           detail::expo_clean(info.backend) + "\"} 1\n";
+           detail::expo_clean(info.backend) + "\",fp_env=\"" +
+           detail::expo_clean(info.fp_env) + "\"} 1\n";
 
     std::string last_base;
     for (const CounterSnap& c : snap.counters) {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "guard/guard.hpp"
 #include "mf/multifloats.hpp"
 #include "simd/backend.hpp"
 #include "simd/dispatch.hpp"
@@ -22,6 +23,10 @@
 using MF = mf::MultiFloat<double, 4>;
 
 int main(int argc, char** argv) {
+    // FP-environment sentinel (MF_GUARD_POLICY): a host shell that launched
+    // us with FTZ or directed rounding would silently corrupt every digit
+    // printed below.
+    MF_GUARD_SENTINEL("tool.mf_calc");
     std::string metrics_path;
     std::vector<MF> stack;
     const auto pop = [&]() {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "guard/guard.hpp"
 #include "simd/simd.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -46,6 +47,13 @@ struct Options {
     bool full_domain = true;   // subnormals / near-overflow / specials on
     bool diff = true;
     bool self_test = false;
+    // --inject env,alloc,thread: with --self-test, run the mf::guard
+    // fault-injection matrix for the listed classes instead of the
+    // broken-kernel conformance self-test.
+    bool inject_env = false;
+    bool inject_alloc = false;
+    bool inject_thread = false;
+    bool inject_any = false;
 };
 
 int usage(const char* argv0) {
@@ -54,7 +62,9 @@ int usage(const char* argv0) {
                  "          [--limbs 2|3|4|all] [--iters K] [--seed S] [--backend NAME]\n"
                  "          [--json PATH] [--corpus FILE] [--write-corpus FILE]\n"
                  "          [--metrics PATH] [--bound-domain-only] [--no-diff] "
-                 "[--self-test]\n",
+                 "[--self-test]\n"
+                 "          [--inject env,alloc,thread]   (requires --self-test: "
+                 "run the fault matrix)\n",
                  argv0);
     return 2;
 }
@@ -187,11 +197,58 @@ bool run_self_test() {
     return ok;
 }
 
+/// Parse the --inject class list ("env,alloc,thread"). Returns false on an
+/// unknown class name.
+bool parse_inject(const char* v, Options* opt) {
+    std::string s = v;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        const std::string cls =
+            s.substr(pos, (comma == std::string::npos ? s.size() : comma) - pos);
+        if (cls == "env") {
+            opt->inject_env = true;
+        } else if (cls == "alloc") {
+            opt->inject_alloc = true;
+        } else if (cls == "thread") {
+            opt->inject_thread = true;
+        } else {
+            return false;
+        }
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+    }
+    opt->inject_any = opt->inject_env || opt->inject_alloc || opt->inject_thread;
+    return opt->inject_any;
+}
+
+/// Fault-injection matrix (--inject ... --self-test): every armed fault must
+/// be detected or absorbed per the DESIGN.md §12 contract.
+bool run_inject_matrix(const Options& opt) {
+    RobustnessOptions ro;
+    ro.env = opt.inject_env;
+    ro.alloc = opt.inject_alloc;
+    ro.thread = opt.inject_thread;
+    ro.seed = opt.seed;
+    std::printf("mf_fuzz: fault-injection matrix (env=%d alloc=%d thread=%d)\n",
+                int(ro.env), int(ro.alloc), int(ro.thread));
+    const std::vector<FaultCase> cases = run_fault_matrix(ro);
+    print_fault_matrix(cases);
+    const bool ok = fault_matrix_clean(cases);
+    std::printf("mf_fuzz: fault matrix %s (%zu cases)\n",
+                ok ? "clean" : "FAIL", cases.size());
+    return ok;
+}
+
 bool want(const std::string& sel, const char* name) { return sel == "all" || sel == name; }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+    // A hostile FP environment would make every oracle comparison below
+    // meaningless; the sentinel detects it up front (and under
+    // MF_GUARD_POLICY=enforce pins the whole run to the nominal one).
+    MF_GUARD_SENTINEL("tool.mf_fuzz");
     Options opt;
     if (const char* env = std::getenv("MF_FUZZ_ITERS")) {
         if (!parse_u64(env, &opt.iters)) {
@@ -252,9 +309,16 @@ int main(int argc, char** argv) {
             opt.diff = false;
         } else if (a == "--self-test") {
             opt.self_test = true;
+        } else if (a == "--inject") {
+            const char* v = next();
+            if (!v || !parse_inject(v, &opt)) return usage(argv[0]);
         } else {
             return usage(argv[0]);
         }
+    }
+    if (opt.inject_any && !opt.self_test) {
+        std::fprintf(stderr, "mf_fuzz: --inject requires --self-test\n");
+        return usage(argv[0]);
     }
 
     // Dump the process telemetry (op counts, renorm invocations, IEEE fixup
@@ -265,7 +329,7 @@ int main(int argc, char** argv) {
     };
 
     if (opt.self_test) {
-        const bool ok = run_self_test();
+        const bool ok = opt.inject_any ? run_inject_matrix(opt) : run_self_test();
         dump_metrics();
         return ok ? 0 : 1;
     }
